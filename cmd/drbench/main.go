@@ -1,0 +1,84 @@
+// Command drbench regenerates the paper's evaluation artifacts over the
+// synthetic SPEC2000 suite:
+//
+//	drbench -table1              # Table 1: the feature ladder on crafty/vpr
+//	drbench -table2              # Table 2: per-level decode+encode cost
+//	drbench -figure5             # Figure 5: all 22 benchmarks x 6 configs
+//	drbench -figure5 -bench mgrid,crafty
+//	drbench -all                 # everything
+//	drbench -verify              # transparency matrix: 22 benchmarks x 11 configs
+//
+// See EXPERIMENTS.md for the paper-versus-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "reproduce Table 1")
+		table2  = flag.Bool("table2", false, "reproduce Table 2")
+		figure5 = flag.Bool("figure5", false, "reproduce Figure 5")
+		all     = flag.Bool("all", false, "reproduce everything")
+		verify  = flag.Bool("verify", false, "run the transparency matrix: every benchmark under every configuration, checking output equality")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset for -figure5")
+	)
+	flag.Parse()
+	if !*table1 && !*table2 && !*figure5 && !*all && !*verify {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *verify {
+		runVerify()
+	}
+
+	if *table1 || *all {
+		fmt.Print(harness.FormatTable1(harness.Table1()))
+		fmt.Println()
+	}
+	if *table2 || *all {
+		fmt.Print(harness.FormatTable2(harness.Table2()))
+		fmt.Println()
+	}
+	if *figure5 || *all {
+		var names []string
+		if *bench != "" {
+			names = strings.Split(*bench, ",")
+		}
+		fmt.Print(harness.FormatFigure5(harness.Figure5(names...)))
+	}
+}
+
+// runVerify exercises the whole matrix: every benchmark under the five
+// Table 1 configurations and the six Figure 5 client configurations.
+// RunConfig panics on any output divergence from native, so completing the
+// matrix is the proof.
+func runVerify() {
+	benches := workload.All()
+	ladder := core.TableOneLadder()
+	total := 0
+	for _, b := range benches {
+		fmt.Printf("%-10s", b.Name)
+		for _, opts := range ladder {
+			harness.RunConfig(b, opts)
+			fmt.Print(" .")
+			total++
+		}
+		for c := harness.ConfigBase; c < harness.NumOptConfigs; c++ {
+			harness.RunConfig(b, core.Default(), harness.ClientsFor(c)...)
+			fmt.Print(" .")
+			total++
+		}
+		fmt.Println(" ok")
+	}
+	fmt.Printf("transparency verified: %d benchmark x configuration runs, all outputs identical to native\n", total)
+}

@@ -1,0 +1,201 @@
+// Command drrun runs a program under the dynamic code modification system —
+// the equivalent of the DynamoRIO launcher. It runs either a named suite
+// benchmark or an assembly source file, natively or under any runtime
+// configuration, with any subset of the sample clients attached.
+//
+// Examples:
+//
+//	drrun -bench crafty                         # full system, no clients
+//	drrun -bench crafty -native                 # native baseline
+//	drrun -bench mgrid -clients rlr -stats      # redundant load removal
+//	drrun -asm prog.s -config nolink            # bb cache only
+//	drrun -bench gzip -clients all -profile p3  # Pentium 3 model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/clients/bbprofile"
+	"repro/internal/clients/ctrace"
+	"repro/internal/clients/ibdispatch"
+	"repro/internal/clients/inc2add"
+	"repro/internal/clients/inscount"
+	"repro/internal/clients/memtrace"
+	"repro/internal/clients/rlr"
+	"repro/internal/clients/shepherd"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "suite benchmark to run (see -list)")
+		asmFile   = flag.String("asm", "", "assembly source file to run instead of a benchmark")
+		list      = flag.Bool("list", false, "list suite benchmarks and exit")
+		native    = flag.Bool("native", false, "run natively (no runtime)")
+		config    = flag.String("config", "default", "runtime config: default, notrace, nolink, direct, emulate")
+		clientCSV = flag.String("clients", "", "comma-separated clients: rlr,inc2add,ibdispatch,ctrace,inscount,bbprofile,memtrace,shepherd or 'all'")
+		profile   = flag.String("profile", "p4", "processor model: p3 or p4")
+		stats     = flag.Bool("stats", false, "print machine and runtime statistics")
+		threshold = flag.Int("trace-threshold", 0, "override the trace-head threshold")
+		limit     = flag.Uint64("limit", 2_000_000_000, "instruction limit")
+		disasm    = flag.Bool("disasm", false, "print the program disassembly and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-10s %-4s %s\n", b.Name, b.Class, b.Signature)
+		}
+		return
+	}
+
+	img, err := loadImage(*benchName, *asmFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drrun:", err)
+		os.Exit(1)
+	}
+	if *disasm {
+		for _, b := range workload.All() {
+			if b.Name == *benchName {
+				fmt.Print(b.Source())
+				return
+			}
+		}
+		return
+	}
+
+	prof := machine.PentiumIV()
+	if *profile == "p3" {
+		prof = machine.PentiumIII()
+	}
+	m := machine.New(prof)
+
+	if *native {
+		img.Boot(m)
+		err = m.Run(*limit)
+		report(m, nil, *stats, err)
+		return
+	}
+
+	opts, err := configFor(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drrun:", err)
+		os.Exit(1)
+	}
+	if *threshold > 0 {
+		opts.TraceThreshold = *threshold
+	}
+	clients, err := clientsFor(*clientCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drrun:", err)
+		os.Exit(1)
+	}
+	r := core.New(m, img, opts, os.Stderr, clients...)
+	err = r.Run(*limit)
+	report(m, r, *stats, err)
+}
+
+func loadImage(bench, file string) (*image.Image, error) {
+	switch {
+	case bench != "" && file != "":
+		return nil, fmt.Errorf("give either -bench or -asm, not both")
+	case bench != "":
+		b := workload.ByName(bench)
+		if b == nil {
+			return nil, fmt.Errorf("unknown benchmark %q (try -list)", bench)
+		}
+		return b.Image(), nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return image.Assemble(file, string(src))
+	default:
+		return nil, fmt.Errorf("need -bench or -asm (or -list)")
+	}
+}
+
+func configFor(name string) (core.Options, error) {
+	opts := core.Default()
+	switch name {
+	case "default":
+	case "notrace":
+		opts.EnableTraces = false
+	case "nolink":
+		opts.LinkDirect, opts.LinkIndirect, opts.EnableTraces = false, false, false
+	case "direct":
+		opts.LinkIndirect, opts.EnableTraces = false, false
+	case "emulate":
+		opts.Mode = core.ModeEmulate
+	default:
+		return opts, fmt.Errorf("unknown config %q", name)
+	}
+	return opts, nil
+}
+
+func clientsFor(csv string) ([]core.Client, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	if csv == "all" {
+		csv = "rlr,inc2add,ibdispatch,ctrace"
+	}
+	var out []core.Client
+	for _, name := range strings.Split(csv, ",") {
+		switch strings.TrimSpace(name) {
+		case "rlr":
+			out = append(out, rlr.New())
+		case "inc2add":
+			out = append(out, inc2add.New())
+		case "ibdispatch":
+			out = append(out, ibdispatch.New())
+		case "ctrace":
+			out = append(out, ctrace.New())
+		case "inscount":
+			out = append(out, inscount.New())
+		case "bbprofile":
+			out = append(out, bbprofile.New())
+		case "memtrace":
+			mt := memtrace.New()
+			mt.Max = 50
+			out = append(out, mt)
+		case "shepherd":
+			sh := shepherd.New()
+			sh.TrustSymbols = true // benchmarks use hand-built jump tables
+			out = append(out, sh)
+		default:
+			return nil, fmt.Errorf("unknown client %q", name)
+		}
+	}
+	return out, nil
+}
+
+func report(m *machine.Machine, r *core.RIO, stats bool, err error) {
+	fmt.Printf("output: %q\n", m.OutputString())
+	fmt.Printf("cycles: %d  instructions: %d  (CPI %.2f)\n",
+		m.Ticks.Cycles(), m.Stats.Instructions,
+		float64(m.Ticks)/machine.TicksPerCycle/float64(m.Stats.Instructions))
+	if err != nil {
+		fmt.Printf("stopped: %v\n", err)
+	}
+	if !stats {
+		return
+	}
+	s := m.Stats
+	fmt.Printf("machine: loads=%d stores=%d cond=%d(miss %d) taken=%d ret=%d(miss %d) ind=%d(miss %d) syscalls=%d\n",
+		s.Loads, s.Stores, s.CondBranches, s.CondMispred, s.TakenBranches,
+		s.Rets, s.RetMispred, s.IndBranches, s.IndMispred, s.Syscalls)
+	if r != nil {
+		rs := r.Stats
+		fmt.Printf("runtime: blocks=%d traces=%d ctxsw=%d links=%d unlinks=%d iblmiss=%d cleancalls=%d replacements=%d deleted=%d\n",
+			rs.BlocksBuilt, rs.TracesBuilt, rs.ContextSwitches, rs.Links,
+			rs.Unlinks, rs.IBLMisses, rs.CleanCalls, rs.Replacements, rs.FragmentsDeleted)
+	}
+}

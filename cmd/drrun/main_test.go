@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestConfigFor(t *testing.T) {
+	cases := []struct {
+		name  string
+		check func(core.Options) bool
+	}{
+		{"default", func(o core.Options) bool { return o.EnableTraces && o.LinkIndirect }},
+		{"notrace", func(o core.Options) bool { return !o.EnableTraces && o.LinkIndirect }},
+		{"nolink", func(o core.Options) bool { return !o.LinkDirect && !o.LinkIndirect }},
+		{"direct", func(o core.Options) bool { return o.LinkDirect && !o.LinkIndirect }},
+		{"emulate", func(o core.Options) bool { return o.Mode == core.ModeEmulate }},
+	}
+	for _, c := range cases {
+		opts, err := configFor(c.name)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if !c.check(opts) {
+			t.Errorf("%s: options wrong: %+v", c.name, opts)
+		}
+	}
+	if _, err := configFor("bogus"); err == nil {
+		t.Error("bogus config should fail")
+	}
+}
+
+func TestClientsFor(t *testing.T) {
+	cl, err := clientsFor("rlr,inc2add,ibdispatch,ctrace,inscount,bbprofile,memtrace,shepherd")
+	if err != nil || len(cl) != 8 {
+		t.Fatalf("clients = %d, err = %v", len(cl), err)
+	}
+	seen := map[string]bool{}
+	for _, c := range cl {
+		seen[c.Name()] = true
+	}
+	for _, name := range []string{"rlr", "inc2add", "ibdispatch", "ctrace", "inscount", "bbprofile", "memtrace", "shepherd"} {
+		if !seen[name] {
+			t.Errorf("missing client %s", name)
+		}
+	}
+	all, err := clientsFor("all")
+	if err != nil || len(all) != 4 {
+		t.Errorf("all = %d clients, err %v", len(all), err)
+	}
+	if cl, err := clientsFor(""); err != nil || cl != nil {
+		t.Error("empty spec should yield no clients")
+	}
+	if _, err := clientsFor("nosuch"); err == nil {
+		t.Error("unknown client should fail")
+	}
+}
+
+func TestLoadImage(t *testing.T) {
+	if _, err := loadImage("", ""); err == nil {
+		t.Error("neither source should fail")
+	}
+	if _, err := loadImage("crafty", "x.s"); err == nil {
+		t.Error("both sources should fail")
+	}
+	if _, err := loadImage("nosuch", ""); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	img, err := loadImage("crafty", "")
+	if err != nil || img == nil {
+		t.Fatalf("crafty: %v", err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(path, []byte("main:\n hlt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := loadImage("", path)
+	if err != nil || img2 == nil {
+		t.Fatalf("asm file: %v", err)
+	}
+	if _, err := loadImage("", filepath.Join(dir, "missing.s")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

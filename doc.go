@@ -1,0 +1,27 @@
+// Package repro is a Go reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (Bruening, Garnett, Amarasinghe; CGO 2003) — the
+// DynamoRIO paper.
+//
+// The system is organized as:
+//
+//   - internal/ia32: the IA-32 subset ISA with a multi-strategy decoder and
+//     template-matching encoder
+//   - internal/instr: the five-level adaptive instruction representation
+//     (Instr / InstrList) of the paper's Section 3.1
+//   - internal/asm, internal/image: an assembler and loader for writing
+//     programs in the subset ISA
+//   - internal/machine: the simulated processor (Pentium 3 / Pentium 4 cost
+//     profiles, branch predictors, cycle accounting) that substitutes for
+//     the paper's hardware — see DESIGN.md for the substitution argument
+//   - internal/core: the runtime — dispatcher, thread-private code caches,
+//     fragment linking, in-cache indirect-branch lookup, trace building,
+//     exit stubs, and the adaptive DecodeFragment/ReplaceFragment interface
+//   - internal/api: the client-facing API of the paper's Section 3
+//   - internal/clients/...: the paper's four sample optimizations plus an
+//     instrumentation client
+//   - internal/workload: the synthetic SPEC2000 suite
+//   - internal/harness: the Table 1 / Table 2 / Figure 5 experiments
+//
+// Run the experiments with cmd/drbench, individual programs with cmd/drrun,
+// and see bench_test.go for the testing.B entry points.
+package repro

@@ -1,0 +1,70 @@
+// Adaptive optimization showcase: the two clients that reshape and rewrite
+// traces at runtime. The custom-trace client (Section 4.4) inlines whole
+// procedure calls into per-call-site traces and removes the return checks;
+// the indirect-branch dispatch client (Section 4.3) value-profiles
+// hashtable-lookup misses and makes each trace rewrite itself — via
+// DecodeFragment/ReplaceFragment, from inside its own profiling call — with
+// compare/branch chains for the hot targets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/clients/ctrace"
+	"repro/internal/clients/ibdispatch"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func run(b *workload.Benchmark, clients ...core.Client) (*machine.Machine, *core.RIO) {
+	m := machine.New(machine.PentiumIV())
+	r := core.New(m, b.Image(), core.Default(), os.Stdout, clients...)
+	if err := r.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	return m, r
+}
+
+func main() {
+	b := workload.ByName("eon") // virtual dispatch + small hot methods
+	if len(os.Args) > 1 {
+		if bb := workload.ByName(os.Args[1]); bb != nil {
+			b = bb
+		}
+	}
+	fmt.Printf("benchmark: %s (%s)\n\n", b.Name, b.Signature)
+
+	base, rBase := run(b)
+	fmt.Printf("base:        %9d cycles, %4d ctx switches, %d traces\n",
+		base.Ticks.Cycles(), rBase.Stats.ContextSwitches, rBase.Stats.TracesBuilt)
+
+	ct := ctrace.New()
+	mCT, rCT := run(b, ct)
+	fmt.Printf("ctrace:      %9d cycles (%5.1f%%), %d heads marked, %d return checks removed, %d traces\n",
+		mCT.Ticks.Cycles(),
+		100*(float64(mCT.Ticks)-float64(base.Ticks))/float64(base.Ticks),
+		ct.HeadsMarked, ct.ChecksRemoved, rCT.Stats.TracesBuilt)
+
+	ib := ibdispatch.New()
+	mIB, rIB := run(b, ib)
+	fmt.Printf("ibdispatch:  %9d cycles (%5.1f%%), %d sites profiled, %d trace self-rewrites, %d fragment replacements\n",
+		mIB.Ticks.Cycles(),
+		100*(float64(mIB.Ticks)-float64(base.Ticks))/float64(base.Ticks),
+		ib.Sites, ib.Rewrites, rIB.Stats.Replacements)
+
+	both1, both2 := ctrace.New(), ibdispatch.New()
+	mBoth, _ := run(b, both1, both2)
+	fmt.Printf("both:        %9d cycles (%5.1f%%)\n",
+		mBoth.Ticks.Cycles(),
+		100*(float64(mBoth.Ticks)-float64(base.Ticks))/float64(base.Ticks))
+
+	for _, m := range []*machine.Machine{mCT, mIB, mBoth} {
+		if m.OutputString() != base.OutputString() {
+			log.Fatal("transparency violated!")
+		}
+	}
+	fmt.Println("\nall outputs identical to base: transformations are transparent")
+}

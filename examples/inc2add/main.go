@@ -1,0 +1,49 @@
+// The paper's Figure 3 client in action: the inc→add 1 strength reduction
+// is an architecture-specific optimization, so the same program is run on
+// both processor models. On the Pentium 4 the client converts and the
+// program speeds up; on the Pentium 3 it detects the family and leaves the
+// code alone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/clients/inc2add"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	b := workload.ByName("bzip2") // counter-dense: plenty of inc/dec
+	if len(os.Args) > 1 {
+		if bb := workload.ByName(os.Args[1]); bb != nil {
+			b = bb
+		}
+	}
+
+	for _, prof := range []*machine.Profile{machine.PentiumIV(), machine.PentiumIII()} {
+		fmt.Printf("--- %s ---\n", prof.Name)
+
+		base := machine.New(prof)
+		rBase := core.New(base, b.Image(), core.Default(), nil)
+		if err := rBase.Run(0); err != nil {
+			log.Fatal(err)
+		}
+
+		m := machine.New(prof)
+		client := inc2add.New()
+		r := core.New(m, b.Image(), core.Default(), os.Stdout, client)
+		if err := r.Run(0); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("examined %d inc/dec, converted %d\n", client.NumExamined, client.NumConverted)
+		fmt.Printf("base:      %10d cycles\n", base.Ticks.Cycles())
+		fmt.Printf("optimized: %10d cycles (%.1f%% change)\n\n",
+			m.Ticks.Cycles(),
+			100*(float64(m.Ticks)-float64(base.Ticks))/float64(base.Ticks))
+	}
+}

@@ -1,0 +1,53 @@
+// Instrumentation example (the non-optimization use of the interface): run
+// a suite benchmark with the instruction-counting client attached and check
+// the in-cache counter against the machine's own retired-instruction count
+// from a native run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/clients/inscount"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := "gzip"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b := workload.ByName(name)
+	if b == nil {
+		log.Fatalf("unknown benchmark %q", name)
+	}
+
+	// Ground truth: the simulator's own count of a native run.
+	native := machine.New(machine.PentiumIV())
+	b.Image().Boot(native)
+	if err := native.Run(0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Instrumented run: the count is accumulated by real increments
+	// executing inside the code cache, with no callbacks at all.
+	m := machine.New(machine.PentiumIV())
+	client := inscount.New()
+	r := core.New(m, b.Image(), core.Default(), os.Stdout, client)
+	if err := r.Run(0); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark:           %s\n", b.Name)
+	fmt.Printf("native retired:      %d instructions\n", native.Stats.Instructions)
+	fmt.Printf("instrumented count:  %d instructions\n", client.Count())
+	fmt.Printf("instrumentation overhead: %.2fx native time\n",
+		float64(m.Ticks)/float64(native.Ticks))
+	if client.Count() != native.Stats.Instructions {
+		log.Fatal("counts disagree!")
+	}
+	fmt.Println("counts agree exactly")
+}

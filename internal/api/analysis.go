@@ -1,0 +1,106 @@
+package api
+
+import (
+	"repro/internal/ia32"
+	"repro/internal/instr"
+)
+
+// This file provides the forward-scan liveness queries client optimizations
+// lean on. Both scans operate on the linear streams the representation
+// guarantees (Section 3.1: single entry, no internal join points), which is
+// exactly why they can be this simple — the efficiency argument the paper
+// makes for restricting optimization units to linear code.
+//
+// Both queries are conservative: any situation the scan cannot prove safe
+// (an exit from the fragment, undecoded code, the end of the list) answers
+// false.
+
+// FlagsKilledBeforeUse reports whether every flag in mask (a set of
+// ia32.EflagsRead* bits) is written before it is read, scanning forward
+// from the instruction after start. A control transfer out of the fragment
+// ends the scan unsuccessfully, as the paper's Figure 3 simplification
+// does. Use it to decide whether inserted or substituted code may clobber
+// those flags.
+func FlagsKilledBeforeUse(start *instr.Instr, mask ia32.Eflags) bool {
+	mask &= ia32.EflagsReadAll
+	if mask == 0 {
+		return true
+	}
+	for in := start.Next(); in != nil; in = in.Next() {
+		if in.IsBundle() {
+			return false
+		}
+		e := in.Eflags()
+		if e.ReadSet()&mask != 0 {
+			return false
+		}
+		mask &^= e.WritesToReads()
+		if mask == 0 {
+			return true
+		}
+		if in.IsCTI() {
+			return false
+		}
+	}
+	return false
+}
+
+// DeadRegisterAt returns a register from candidates whose value is provably
+// dead at start (written before being read on the straight-line path from
+// start to the first control transfer), so a client may clobber it without
+// spilling. It returns RegNone when no candidate can be proven dead.
+//
+// The scan includes start itself: a register read by start is live there.
+// Sub-register aliasing is respected (EAX is live if AL is read).
+func DeadRegisterAt(start *instr.Instr, candidates ...ia32.Reg) ia32.Reg {
+	remaining := append([]ia32.Reg(nil), candidates...)
+	alive := func(r ia32.Reg) bool { return r != ia32.RegNone }
+
+	for in := start; in != nil; in = in.Next() {
+		if in.IsBundle() {
+			break
+		}
+		inst := in.Inst()
+		// Reads first: source operands and address components of
+		// destinations.
+		for i := range remaining {
+			r := remaining[i]
+			if !alive(r) {
+				continue
+			}
+			read := false
+			for _, o := range inst.Srcs {
+				if o.UsesReg(r) {
+					read = true
+					break
+				}
+			}
+			if !read {
+				for _, o := range inst.Dsts {
+					if o.Kind == ia32.OperandMem && o.UsesReg(r) {
+						read = true
+						break
+					}
+				}
+			}
+			if read {
+				remaining[i] = ia32.RegNone
+			}
+		}
+		// Then writes: a full-width register write proves deadness.
+		for _, o := range inst.Dsts {
+			if o.Kind != ia32.OperandReg || !o.Reg.Is32() {
+				continue
+			}
+			for _, r := range remaining {
+				if alive(r) && r == o.Reg {
+					return r
+				}
+			}
+		}
+		if in.IsCTI() {
+			break // the register may be live wherever control goes
+		}
+	}
+	return ia32.RegNone
+}

@@ -1,0 +1,139 @@
+// Package asm implements a small two-pass assembler for the IA-32 subset,
+// used to author the synthetic benchmark programs and runtime code
+// sequences as readable text rather than byte arrays.
+//
+// Syntax is Intel-flavoured, one instruction or directive per line:
+//
+//	; comment                      # comment
+//	.org   0x1000                  ; set the location counter
+//	.entry main                    ; program entry point (default: first label)
+//	.equ   SIZE, 64                ; named constant
+//	main:                          ; label
+//	    mov   eax, 5
+//	    mov   ebx, [eax+ecx*4+8]
+//	    mov   byte [buf+1], 7      ; byte/word/dword size prefixes
+//	    cmp   eax, SIZE
+//	    jl    main
+//	    int   0x80                 ; system call gate
+//	table: .word 1, 2, main        ; 32-bit data (labels allowed)
+//	buf:   .byte 1, 2, 'x'
+//	msg:   .ascii "hello"
+//	       .space 64               ; zero-filled bytes
+//	       .align 16
+//
+// The assembler runs passes until label addresses reach a fixed point, so
+// displacement widths that depend on symbol values are handled correctly.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/ia32"
+)
+
+// Section is a contiguous range of assembled bytes at an absolute address.
+type Section struct {
+	Addr  uint32
+	Bytes []byte
+}
+
+// Program is the result of assembling a source file.
+type Program struct {
+	Sections []Section
+	Entry    uint32
+	Symbols  map[string]uint32
+}
+
+// Error is an assembly error annotated with the source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble assembles source into a program.
+func Assemble(source string) (*Program, error) {
+	a := &assembler{symbols: map[string]uint32{}, equs: map[string]int64{}}
+	if err := a.parse(source); err != nil {
+		return nil, err
+	}
+	// Iterate until symbol addresses stabilize (sizes can depend on
+	// symbol values through displacement widths).
+	const maxPasses = 8
+	for pass := 0; ; pass++ {
+		if pass == maxPasses {
+			return nil, fmt.Errorf("asm: layout did not converge after %d passes", maxPasses)
+		}
+		changed, err := a.layout()
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			break
+		}
+	}
+	return a.emit()
+}
+
+// MustAssemble assembles known-good source, panicking on error. Intended for
+// compiled-in runtime sequences and tests.
+func MustAssemble(source string) *Program {
+	p, err := Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// item is one assembled entity: an instruction or a data directive.
+type item struct {
+	line  int
+	label string // label defined at this point ("" if none)
+
+	// Instruction items.
+	mnemonic string
+	operands []operand
+
+	// Data items.
+	data     []dataExpr // .word/.byte values
+	dataSize uint8      // 4 for .word, 1 for .byte
+	space    int        // .space size
+	align    int        // .align boundary
+	org      int64      // .org address (-1 if not an org)
+
+	// Layout results.
+	addr uint32
+	size uint32
+}
+
+// operand is a parsed operand that may reference symbols.
+type operand struct {
+	kind    ia32.OperandKind
+	reg     ia32.Reg
+	imm     int64
+	immSym  string // symbol to add to imm
+	size    uint8
+	base    ia32.Reg
+	index   ia32.Reg
+	scale   uint8
+	disp    int64
+	dispSym string // symbol to add to disp
+	sized   bool   // explicit byte/word/dword prefix given
+}
+
+type dataExpr struct {
+	val int64
+	sym string
+}
+
+type assembler struct {
+	items   []*item
+	symbols map[string]uint32
+	equs    map[string]int64
+	entry   string
+}

@@ -1,0 +1,367 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ia32"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+.org 0x1000
+start:
+    mov eax, 5
+    add eax, 3
+    hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0x1000 {
+		t.Errorf("entry = %#x, want 0x1000", p.Entry)
+	}
+	if len(p.Sections) != 1 || p.Sections[0].Addr != 0x1000 {
+		t.Fatalf("sections = %+v", p.Sections)
+	}
+	// mov eax,5 (B8 05 00 00 00), add eax,3 (83 C0 03), hlt (F4)
+	want := []byte{0xB8, 5, 0, 0, 0, 0x83, 0xC0, 3, 0xF4}
+	got := p.Sections[0].Bytes
+	if len(got) != len(want) {
+		t.Fatalf("bytes = % x, want % x", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bytes = % x, want % x", got, want)
+		}
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	p, err := Assemble(`
+.org 0x1000
+loop:
+    dec ecx
+    jnz loop
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := p.Sections[0].Bytes
+	// Decode the jnz and verify it targets 0x1000.
+	in, err := ia32.Decode(code[1:], 0x1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != ia32.OpJnz {
+		t.Fatalf("opcode = %s, want jnz", in.Op)
+	}
+	if target, _ := in.Target(); target != 0x1000 {
+		t.Errorf("target = %#x, want 0x1000", target)
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	p, err := Assemble(`
+.org 0x400
+main:
+    jmp done
+    nop
+done:
+    hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ia32.Decode(p.Sections[0].Bytes, 0x400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target, _ := in.Target(); target != p.Symbols["done"] {
+		t.Errorf("target = %#x, want %#x", target, p.Symbols["done"])
+	}
+	if p.Symbols["done"] != 0x406 { // jmp rel32 is 5 bytes + nop
+		t.Errorf("done = %#x, want 0x406", p.Symbols["done"])
+	}
+}
+
+func TestAssembleDataAndSymbols(t *testing.T) {
+	p, err := Assemble(`
+.org 0x1000
+main:
+    mov eax, [counter]
+    mov ebx, table
+    mov cl, byte [bytes+2]
+    mov [counter], eax
+    hlt
+.org 0x8000
+counter: .word 41
+table:   .word 1, 2, 3, main
+bytes:   .byte 7, 8, 9, 'A'
+msg:     .ascii "hi"
+         .align 8
+aligned: .space 16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sections) != 2 {
+		t.Fatalf("want 2 sections, got %d", len(p.Sections))
+	}
+	data := p.Sections[1]
+	if data.Addr != 0x8000 {
+		t.Fatalf("data section at %#x", data.Addr)
+	}
+	if data.Bytes[0] != 41 {
+		t.Errorf("counter = %d, want 41", data.Bytes[0])
+	}
+	// table[3] should hold main's address.
+	off := p.Symbols["table"] - 0x8000 + 12
+	v := uint32(data.Bytes[off]) | uint32(data.Bytes[off+1])<<8 |
+		uint32(data.Bytes[off+2])<<16 | uint32(data.Bytes[off+3])<<24
+	if v != p.Symbols["main"] {
+		t.Errorf("table[3] = %#x, want main (%#x)", v, p.Symbols["main"])
+	}
+	if got := data.Bytes[p.Symbols["bytes"]-0x8000+3]; got != 'A' {
+		t.Errorf("bytes[3] = %q, want 'A'", got)
+	}
+	if got := string(data.Bytes[p.Symbols["msg"]-0x8000:][:2]); got != "hi" {
+		t.Errorf("msg = %q", got)
+	}
+	if p.Symbols["aligned"]%8 != 0 {
+		t.Errorf("aligned = %#x, not 8-aligned", p.Symbols["aligned"])
+	}
+	// The code section decodes cleanly (the data section need not).
+	if s := ia32.DisasmBytes(p.Sections[0].Bytes, p.Sections[0].Addr); strings.Contains(s, "<") {
+		t.Errorf("code disassembly contains errors:\n%s", s)
+	}
+}
+
+func TestAssembleEqu(t *testing.T) {
+	p, err := Assemble(`
+.equ SIZE, 0x40
+.org 0x1000
+main:
+    mov eax, SIZE
+    cmp eax, SIZE
+    hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ia32.Decode(p.Sections[0].Bytes, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Srcs[0].Imm != 0x40 {
+		t.Errorf("imm = %#x, want 0x40", in.Srcs[0].Imm)
+	}
+}
+
+func TestAssembleAddressingForms(t *testing.T) {
+	src := `
+.org 0x1000
+main:
+    mov eax, [ebx]
+    mov eax, [ebx+4]
+    mov eax, [ebx-4]
+    mov eax, [ebx+ecx*4]
+    mov eax, [ebx+ecx*4+0x20]
+    mov eax, [ecx*8]
+    mov eax, [esp]
+    mov eax, [ebp]
+    mov eax, [ebp+8]
+    mov eax, [esi+edi]
+    lea edx, [eax+eax*2]
+    mov byte [ebx], 1
+    mov dword [ebx], 1
+    movzx eax, byte [esi+1]
+    movzx eax, word [esi+2]
+    movsx ebx, al
+    xchg eax, [edi]
+    imul eax, ebx
+    imul eax, ebx, 10
+    push dword [esp+4]
+    pop edx
+    pushfd
+    popfd
+    shl eax, 5
+    shr ebx, cl
+    sar ecx, 1
+    not eax
+    neg ebx
+    test eax, eax
+    test eax, 0x100
+    cmp byte [esi], 'q'
+    adc eax, 0
+    sbb edx, edx
+    xor eax, eax
+    or eax, 0x80000000
+    and eax, 0xff
+    call main
+    call eax
+    call [ebx+4]
+    jmp [table+eax*4]
+    ret
+table: .word main
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every assembled byte must decode.
+	code := p.Sections[0].Bytes
+	off := 0
+	count := 0
+	for off < len(code) {
+		in, err := ia32.Decode(code[off:], 0x1000+uint32(off))
+		if err != nil {
+			t.Fatalf("offset %#x: %v (so far %d instrs)", off, err, count)
+		}
+		off += int(in.Len)
+		count++
+	}
+	// 41 instructions + 1 data word at the end; the word is 4 bytes that
+	// happen to decode or not — stop counting at the table.
+	if count < 41 {
+		t.Errorf("decoded %d instructions, want >= 41", count)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "main:\n frob eax\n", "unknown mnemonic"},
+		{"unknown directive", ".bogus 3\n", "unknown directive"},
+		{"dup label", "a:\na:\n nop\n", "duplicate label"},
+		{"undefined symbol", "main:\n jmp nowhere\n", `undefined symbol "nowhere"`},
+		{"bad operand count", "main:\n add eax\n", "need 2 operands"},
+		{"bad mem", "main:\n mov eax, [ebx+ecx+edx]\n", "too many registers"},
+		{"bad scale", "main:\n mov eax, [ebx*3]\n", "bad scale"},
+		{"bad entry", ".entry nope\nmain:\n nop\n", `entry label "nope" undefined`},
+		{"no labels", " nop\n", "no entry point"},
+		{"unterminated mem", "main:\n mov eax, [ebx\n", "unterminated memory operand"},
+		{"lea non-mem", "main:\n lea eax, ebx\n", "bad operands"},
+		{"negated register", "main:\n mov eax, [ebx-ecx]\n", "cannot negate register"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAssembleSectionOverlap(t *testing.T) {
+	_, err := Assemble(`
+.org 0x1000
+a: .space 0x100
+.org 0x1080
+b: .space 0x10
+`)
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("want overlap error, got %v", err)
+	}
+}
+
+func TestAssembleCharAndComments(t *testing.T) {
+	p, err := Assemble(`
+main:                     ; a comment with ; semicolons
+    mov al, 'x'           # hash comment
+    cmp al, ';'           ; literal semicolon in char
+    hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ia32.Decode(p.Sections[0].Bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Srcs[0].Imm != 'x' {
+		t.Errorf("imm = %d, want 'x'", in.Srcs[0].Imm)
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p, err := Assemble("a: b: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != p.Symbols["b"] {
+		t.Error("stacked labels should share an address")
+	}
+}
+
+func TestRet16(t *testing.T) {
+	p, err := Assemble("f:\n ret 8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Sections[0].Bytes
+	if b[0] != 0xC2 || b[1] != 8 || b[2] != 0 {
+		t.Errorf("ret 8 = % x", b)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad input")
+		}
+	}()
+	MustAssemble("bogus stuff here(\n")
+}
+
+func TestAssembleSetccCmov(t *testing.T) {
+	p, err := Assemble(`
+main:
+    cmp eax, ebx
+    setz al
+    sete bl
+    setnbe byte [flag]
+    cmovl eax, ebx
+    cmovge edx, [mem]
+    cmova ecx, esi
+    hlt
+.org 0x8000
+flag: .word 0
+mem:  .word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := p.Sections[0].Bytes
+	off := 0
+	var ops []ia32.Opcode
+	for off < len(code) {
+		in, err := ia32.Decode(code[off:], uint32(off))
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		ops = append(ops, in.Op)
+		off += int(in.Len)
+	}
+	want := []ia32.Opcode{ia32.OpCmp, ia32.OpSetz, ia32.OpSetz, ia32.OpSetnbe,
+		ia32.OpCmovl, ia32.OpCmovnl, ia32.OpCmovnbe, ia32.OpHlt}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %s, want %s", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestAssembleSetccRejectsWideRegister(t *testing.T) {
+	if _, err := Assemble("main:\n setz eax\n"); err == nil {
+		t.Error("setz on a 32-bit register should fail")
+	}
+}

@@ -1,0 +1,517 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ia32"
+)
+
+// layout assigns an address and size to every item using the current symbol
+// estimates, then updates the symbol table. It reports whether any symbol
+// moved (meaning another pass is required).
+func (a *assembler) layout() (changed bool, err error) {
+	pc := uint32(0)
+	newSyms := map[string]uint32{}
+	for _, it := range a.items {
+		switch {
+		case it.org >= 0:
+			if it.org > 1<<31 {
+				return false, errf(it.line, ".org %#x out of range", it.org)
+			}
+			pc = uint32(it.org)
+			it.addr, it.size = pc, 0
+		case it.label != "":
+			if _, dup := newSyms[it.label]; dup {
+				return false, errf(it.line, "duplicate label %q", it.label)
+			}
+			newSyms[it.label] = pc
+			it.addr, it.size = pc, 0
+		case it.align > 0:
+			aligned := (pc + uint32(it.align) - 1) &^ (uint32(it.align) - 1)
+			it.addr, it.size = pc, aligned-pc
+			pc = aligned
+		case it.space > 0:
+			it.addr, it.size = pc, uint32(it.space)
+			pc += uint32(it.space)
+		case len(it.data) > 0:
+			it.addr = pc
+			it.size = uint32(len(it.data)) * uint32(it.dataSize)
+			pc += it.size
+		case it.mnemonic != "":
+			it.addr = pc
+			bytes, err := a.encodeInstr(it)
+			if err != nil {
+				return false, err
+			}
+			it.size = uint32(len(bytes))
+			pc += it.size
+		default:
+			it.addr, it.size = pc, 0
+		}
+	}
+	changed = len(newSyms) != len(a.symbols)
+	if !changed {
+		for k, v := range newSyms {
+			if a.symbols[k] != v {
+				changed = true
+				break
+			}
+		}
+	}
+	a.symbols = newSyms
+	return changed, nil
+}
+
+// emit produces the final program once layout has converged.
+func (a *assembler) emit() (*Program, error) {
+	p := &Program{Symbols: a.symbols}
+	var cur *Section
+	startSection := func(addr uint32) {
+		p.Sections = append(p.Sections, Section{Addr: addr})
+		cur = &p.Sections[len(p.Sections)-1]
+	}
+	pcOf := func(it *item) uint32 { return it.addr }
+	firstLabel := ""
+	for _, it := range a.items {
+		if it.label != "" && firstLabel == "" {
+			firstLabel = it.label
+		}
+		if it.org >= 0 {
+			startSection(uint32(it.org))
+			continue
+		}
+		if cur == nil {
+			startSection(0)
+		}
+		// Pad any gap (alignment) with zero bytes.
+		end := cur.Addr + uint32(len(cur.Bytes))
+		if pcOf(it) < end {
+			return nil, errf(it.line, "layout inconsistency at %#x", it.addr)
+		}
+		for end < pcOf(it) {
+			cur.Bytes = append(cur.Bytes, 0)
+			end++
+		}
+		switch {
+		case it.align > 0:
+			for i := uint32(0); i < it.size; i++ {
+				cur.Bytes = append(cur.Bytes, 0)
+			}
+		case it.space > 0:
+			cur.Bytes = append(cur.Bytes, make([]byte, it.space)...)
+		case len(it.data) > 0:
+			for _, de := range it.data {
+				v := de.val
+				if de.sym != "" {
+					sv, ok := a.symbols[de.sym]
+					if !ok {
+						return nil, errf(it.line, "undefined symbol %q", de.sym)
+					}
+					v += int64(sv)
+				}
+				switch it.dataSize {
+				case 1:
+					cur.Bytes = append(cur.Bytes, byte(v))
+				case 4:
+					cur.Bytes = append(cur.Bytes, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+				}
+			}
+		case it.mnemonic != "":
+			bytes, err := a.encodeInstr(it)
+			if err != nil {
+				return nil, err
+			}
+			cur.Bytes = append(cur.Bytes, bytes...)
+		}
+	}
+	// Drop empty sections and sort by address.
+	out := p.Sections[:0]
+	for _, s := range p.Sections {
+		if len(s.Bytes) > 0 {
+			out = append(out, s)
+		}
+	}
+	p.Sections = out
+	sort.Slice(p.Sections, func(i, j int) bool { return p.Sections[i].Addr < p.Sections[j].Addr })
+	for i := 1; i < len(p.Sections); i++ {
+		prev := p.Sections[i-1]
+		if prev.Addr+uint32(len(prev.Bytes)) > p.Sections[i].Addr {
+			return nil, fmt.Errorf("asm: sections at %#x and %#x overlap", prev.Addr, p.Sections[i].Addr)
+		}
+	}
+
+	entry := a.entry
+	if entry == "" {
+		entry = firstLabel
+	}
+	if entry == "" {
+		return nil, fmt.Errorf("asm: no entry point (no labels defined)")
+	}
+	addr, ok := a.symbols[entry]
+	if !ok {
+		return nil, fmt.Errorf("asm: entry label %q undefined", entry)
+	}
+	p.Entry = addr
+	return p, nil
+}
+
+// encodeInstr builds and encodes the instruction of it at its current
+// address using the current symbol estimates.
+func (a *assembler) encodeInstr(it *item) ([]byte, error) {
+	inst, err := a.buildInst(it)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := ia32.Encode(&inst, it.addr, nil)
+	if err != nil {
+		return nil, errf(it.line, "%s: %v", it.mnemonic, err)
+	}
+	return buf, nil
+}
+
+// resolve converts a parsed operand into an ia32.Operand using current
+// symbol values. Unresolved symbols resolve to 0 during early layout passes;
+// emit runs only after convergence, when all symbols are defined.
+func (a *assembler) resolve(it *item, o operand) (ia32.Operand, error) {
+	lookup := func(sym string) (int64, error) {
+		if sym == "" {
+			return 0, nil
+		}
+		v, ok := a.symbols[sym]
+		if !ok {
+			// Forward reference during an early pass: estimate 0.
+			// If it is genuinely undefined, the final pass catches
+			// it because the symbol table is complete by then.
+			if len(a.symbols) > 0 {
+				if _, defined := a.symbols[sym]; !defined {
+					return 0, errf(it.line, "undefined symbol %q", sym)
+				}
+			}
+			return 0, nil
+		}
+		return int64(v), nil
+	}
+	switch o.kind {
+	case ia32.OperandReg:
+		return ia32.RegOp(o.reg), nil
+	case ia32.OperandImm:
+		v, err := lookup(o.immSym)
+		if err != nil {
+			return ia32.Operand{}, err
+		}
+		return ia32.ImmOp(o.imm+v, 4), nil // size adjusted by buildInst
+	case ia32.OperandMem:
+		v, err := lookup(o.dispSym)
+		if err != nil {
+			return ia32.Operand{}, err
+		}
+		disp := o.disp + v
+		if disp < -(1<<31) || disp >= 1<<32 {
+			return ia32.Operand{}, errf(it.line, "displacement %#x out of range", disp)
+		}
+		return ia32.MemOp(o.base, o.index, o.scale, int32(uint32(disp)), o.size), nil
+	}
+	return ia32.Operand{}, errf(it.line, "bad operand")
+}
+
+// condAliases maps alias condition names to canonical ones.
+var condAliases = map[string]string{
+	"e": "z", "ne": "nz", "c": "b", "nc": "nb", "ae": "nb",
+	"nae": "b", "a": "nbe", "na": "be", "ge": "nl", "nge": "l",
+	"g": "nle", "ng": "le", "pe": "p", "po": "np",
+}
+
+// condFamily builds a mnemonic table for a prefix ("j", "set", "cmov") from
+// the 16 condition codes plus aliases.
+func condFamily(prefix string, base func(uint8) ia32.Opcode) map[string]ia32.Opcode {
+	m := map[string]ia32.Opcode{}
+	canonical := map[string]ia32.Opcode{}
+	for cc := uint8(0); cc < 16; cc++ {
+		op := base(cc)
+		name := op.String()
+		m[name] = op
+		canonical[name[len(prefix):]] = op
+	}
+	for alias, canon := range condAliases {
+		m[prefix+alias] = canonical[canon]
+	}
+	return m
+}
+
+// jccOpcodes maps conditional-branch mnemonics (including aliases) to
+// opcodes; setccOpcodes and cmovOpcodes do the same for the conditional
+// set and move families.
+var (
+	jccOpcodes   = condFamily("j", ia32.Jcc)
+	setccOpcodes = condFamily("set", ia32.Setcc)
+	cmovOpcodes  = condFamily("cmov", ia32.Cmovcc)
+)
+
+var binaryOps = map[string]ia32.Opcode{
+	"add": ia32.OpAdd, "adc": ia32.OpAdc, "sub": ia32.OpSub, "sbb": ia32.OpSbb,
+	"and": ia32.OpAnd, "or": ia32.OpOr, "xor": ia32.OpXor,
+}
+
+var shiftOps = map[string]ia32.Opcode{
+	"shl": ia32.OpShl, "sal": ia32.OpShl, "shr": ia32.OpShr, "sar": ia32.OpSar,
+	"rol": ia32.OpRol, "ror": ia32.OpRor,
+}
+
+var unaryOps = map[string]ia32.Opcode{
+	"inc": ia32.OpInc, "dec": ia32.OpDec, "neg": ia32.OpNeg, "not": ia32.OpNot,
+}
+
+// buildInst maps a mnemonic and resolved operands to a full ia32.Inst with
+// implicit operands filled in.
+func (a *assembler) buildInst(it *item) (ia32.Inst, error) {
+	mn := it.mnemonic
+	ops := make([]ia32.Operand, len(it.operands))
+	for i, po := range it.operands {
+		o, err := a.resolve(it, po)
+		if err != nil {
+			return ia32.Inst{}, err
+		}
+		ops[i] = o
+	}
+	bad := func() (ia32.Inst, error) {
+		return ia32.Inst{}, errf(it.line, "%s: bad operands", mn)
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return errf(it.line, "%s: need %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	// opSize returns the natural size of a register/memory operand.
+	opSize := func(o ia32.Operand) uint8 {
+		if o.Kind == ia32.OperandReg {
+			return o.Reg.Size()
+		}
+		return o.Size
+	}
+	// sizeImm adjusts an immediate's width in context.
+	sizeImm := func(o ia32.Operand, target uint8, allowShort bool) ia32.Operand {
+		if o.Kind != ia32.OperandImm {
+			return o
+		}
+		switch {
+		case target == 1:
+			return ia32.ImmOp(int64(int8(o.Imm)), 1)
+		case target == 2:
+			return ia32.ImmOp(o.Imm, 2)
+		case allowShort && o.Imm >= -128 && o.Imm <= 127:
+			return ia32.ImmOp(o.Imm, 1)
+		default:
+			return ia32.ImmOp(o.Imm, 4)
+		}
+	}
+
+	stackPush := func() ia32.Operand { return ia32.MemOp(ia32.ESP, ia32.RegNone, 0, -4, 4) }
+	stackPop := func() ia32.Operand { return ia32.MemOp(ia32.ESP, ia32.RegNone, 0, 0, 4) }
+	esp := ia32.RegOp(ia32.ESP)
+
+	mkInst := func(op ia32.Opcode, dsts, srcs []ia32.Operand) (ia32.Inst, error) {
+		return ia32.Inst{Op: op, Dsts: dsts, Srcs: srcs}, nil
+	}
+
+	if op, ok := binaryOps[mn]; ok {
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		dst, src := ops[0], ops[1]
+		src = sizeImm(src, pick8(opSize(dst)), true)
+		return mkInst(op, []ia32.Operand{dst}, []ia32.Operand{src, dst})
+	}
+	if op, ok := shiftOps[mn]; ok {
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		dst, amt := ops[0], sizeImm(ops[1], 1, true)
+		return mkInst(op, []ia32.Operand{dst}, []ia32.Operand{amt, dst})
+	}
+	if op, ok := unaryOps[mn]; ok {
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		return mkInst(op, []ia32.Operand{ops[0]}, []ia32.Operand{ops[0]})
+	}
+	if op, ok := jccOpcodes[mn]; ok {
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		if ops[0].Kind != ia32.OperandImm {
+			return bad()
+		}
+		return mkInst(op, nil, []ia32.Operand{ia32.PCOp(uint32(ops[0].Imm))})
+	}
+	if op, ok := setccOpcodes[mn]; ok {
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		dst := ops[0]
+		if dst.Kind == ia32.OperandMem {
+			dst.Size = 1
+		} else if dst.Kind != ia32.OperandReg || !dst.Reg.Is8() {
+			return bad()
+		}
+		return mkInst(op, []ia32.Operand{dst}, nil)
+	}
+	if op, ok := cmovOpcodes[mn]; ok {
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		return mkInst(op, []ia32.Operand{ops[0]}, []ia32.Operand{ops[1], ops[0]})
+	}
+
+	switch mn {
+	case "mov":
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		dst, src := ops[0], ops[1]
+		src = sizeImm(src, opSize(dst), false)
+		// Size an unsized memory operand from its register partner.
+		if dst.Kind == ia32.OperandMem && src.Kind == ia32.OperandReg {
+			dst.Size = src.Reg.Size()
+		}
+		if src.Kind == ia32.OperandMem && dst.Kind == ia32.OperandReg {
+			src.Size = dst.Reg.Size()
+		}
+		return mkInst(ia32.OpMov, []ia32.Operand{dst}, []ia32.Operand{src})
+	case "movzx", "movsx":
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		op := ia32.OpMovzx
+		if mn == "movsx" {
+			op = ia32.OpMovsx
+		}
+		return mkInst(op, []ia32.Operand{ops[0]}, []ia32.Operand{ops[1]})
+	case "lea":
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		if ops[1].Kind != ia32.OperandMem {
+			return bad()
+		}
+		return mkInst(ia32.OpLea, []ia32.Operand{ops[0]}, []ia32.Operand{ops[1]})
+	case "xchg":
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		// The encoding holds the r/m operand first; xchg is symmetric, so
+		// reorder a memory operand into that slot.
+		pair := []ia32.Operand{ops[0], ops[1]}
+		if pair[1].Kind == ia32.OperandMem {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		return mkInst(ia32.OpXchg, pair, pair)
+	case "cmp", "test":
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		op := ia32.OpCmp
+		allowShort := true
+		if mn == "test" {
+			op, allowShort = ia32.OpTest, false
+		}
+		l, r := ops[0], sizeImm(ops[1], pick8(opSize(ops[0])), allowShort)
+		if mn == "test" && r.Kind == ia32.OperandImm {
+			r = sizeImm(ops[1], opSize(ops[0]), false)
+		}
+		return mkInst(op, nil, []ia32.Operand{l, r})
+	case "imul":
+		switch len(ops) {
+		case 2:
+			return mkInst(ia32.OpImul, []ia32.Operand{ops[0]}, []ia32.Operand{ops[1], ops[0]})
+		case 3:
+			return mkInst(ia32.OpImul, []ia32.Operand{ops[0]},
+				[]ia32.Operand{ops[1], sizeImm(ops[2], 4, true)})
+		}
+		return bad()
+	case "push":
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		src := sizeImm(ops[0], 4, true)
+		return mkInst(ia32.OpPush, []ia32.Operand{stackPush(), esp}, []ia32.Operand{src, esp})
+	case "pop":
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		return mkInst(ia32.OpPop, []ia32.Operand{ops[0], esp}, []ia32.Operand{stackPop(), esp})
+	case "pushfd":
+		return mkInst(ia32.OpPushfd, []ia32.Operand{stackPush(), esp}, []ia32.Operand{esp})
+	case "popfd":
+		return mkInst(ia32.OpPopfd, []ia32.Operand{esp}, []ia32.Operand{stackPop(), esp})
+	case "jmp":
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		if ops[0].Kind == ia32.OperandImm {
+			return mkInst(ia32.OpJmp, nil, []ia32.Operand{ia32.PCOp(uint32(ops[0].Imm))})
+		}
+		return mkInst(ia32.OpJmpInd, nil, []ia32.Operand{ops[0]})
+	case "call":
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		if ops[0].Kind == ia32.OperandImm {
+			return mkInst(ia32.OpCall, []ia32.Operand{stackPush(), esp},
+				[]ia32.Operand{ia32.PCOp(uint32(ops[0].Imm)), esp})
+		}
+		return mkInst(ia32.OpCallInd, []ia32.Operand{stackPush(), esp}, []ia32.Operand{ops[0], esp})
+	case "ret":
+		switch len(ops) {
+		case 0:
+			return mkInst(ia32.OpRet, []ia32.Operand{esp}, []ia32.Operand{stackPop(), esp})
+		case 1:
+			return mkInst(ia32.OpRet, []ia32.Operand{esp},
+				[]ia32.Operand{sizeImm(ops[0], 2, false), stackPop(), esp})
+		}
+		return bad()
+	case "bswap":
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		return mkInst(ia32.OpBswap, []ia32.Operand{ops[0]}, []ia32.Operand{ops[0]})
+	case "xadd":
+		if err := need(2); err != nil {
+			return ia32.Inst{}, err
+		}
+		pair := []ia32.Operand{ops[0], ops[1]}
+		return mkInst(ia32.OpXadd, pair, pair)
+	case "nop":
+		return mkInst(ia32.OpNop, nil, nil)
+	case "hlt":
+		return mkInst(ia32.OpHlt, nil, nil)
+	case "int":
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		return mkInst(ia32.OpInt, nil, []ia32.Operand{sizeImm(ops[0], 1, true)})
+	}
+	return ia32.Inst{}, errf(it.line, "unknown mnemonic %q", mn)
+}
+
+// pick8 returns 1 for byte-sized contexts and 4 otherwise; word-sized
+// contexts do not occur for immediates in the subset except ret imm16.
+func pick8(size uint8) uint8 {
+	if size == 1 {
+		return 1
+	}
+	return 4
+}
+
+// Disassemble returns a textual disassembly of a program's sections, for
+// debugging workloads.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, s := range p.Sections {
+		fmt.Fprintf(&b, "section @%#x (%d bytes):\n", s.Addr, len(s.Bytes))
+		b.WriteString(ia32.DisasmBytes(s.Bytes, s.Addr))
+	}
+	return b.String()
+}

@@ -1,0 +1,439 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ia32"
+)
+
+// parse performs the syntactic pass, producing items.
+func (a *assembler) parse(source string) error {
+	for n, raw := range strings.Split(source, "\n") {
+		line := n + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Leading label(s).
+		for {
+			idx := labelEnd(text)
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(text[:idx])
+			if !validIdent(name) {
+				return errf(line, "bad label %q", name)
+			}
+			a.items = append(a.items, &item{line: line, label: name, org: -1})
+			text = strings.TrimSpace(text[idx+1:])
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			if err := a.parseDirective(line, text); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.parseInstr(line, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stripComment removes ';' and '#' comments, respecting character and string
+// literals.
+func stripComment(s string) string {
+	inStr, inChar := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inChar {
+				inStr = !inStr
+			}
+		case '\'':
+			if !inStr {
+				inChar = !inChar
+			}
+		case ';', '#':
+			if !inStr && !inChar {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// labelEnd returns the index of a leading label's ':' or -1. A ':' counts
+// only if everything before it is an identifier.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			if i == 0 {
+				return -1
+			}
+			return i
+		}
+		if !isIdentChar(c) {
+			return -1
+		}
+	}
+	return -1
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+func validIdent(s string) bool {
+	if s == "" || s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) parseDirective(line int, text string) error {
+	word, rest, _ := strings.Cut(text, " ")
+	rest = strings.TrimSpace(rest)
+	switch word {
+	case ".org":
+		v, err := a.parseConst(line, rest)
+		if err != nil {
+			return err
+		}
+		a.items = append(a.items, &item{line: line, org: v})
+	case ".entry":
+		if !validIdent(rest) {
+			return errf(line, ".entry needs a label name")
+		}
+		a.entry = rest
+	case ".equ":
+		name, val, ok := strings.Cut(rest, ",")
+		if !ok {
+			return errf(line, ".equ needs name, value")
+		}
+		name = strings.TrimSpace(name)
+		if !validIdent(name) {
+			return errf(line, "bad .equ name %q", name)
+		}
+		v, err := a.parseConst(line, strings.TrimSpace(val))
+		if err != nil {
+			return err
+		}
+		a.equs[name] = v
+	case ".word", ".byte":
+		size := uint8(4)
+		if word == ".byte" {
+			size = 1
+		}
+		it := &item{line: line, dataSize: size, org: -1}
+		for _, f := range splitOperands(rest) {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				return errf(line, "empty %s value", word)
+			}
+			de, err := a.parseDataExpr(line, f)
+			if err != nil {
+				return err
+			}
+			it.data = append(it.data, de)
+		}
+		if len(it.data) == 0 {
+			return errf(line, "%s needs at least one value", word)
+		}
+		a.items = append(a.items, it)
+	case ".ascii":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return errf(line, ".ascii needs a quoted string: %v", err)
+		}
+		it := &item{line: line, dataSize: 1, org: -1}
+		for _, c := range []byte(s) {
+			it.data = append(it.data, dataExpr{val: int64(c)})
+		}
+		a.items = append(a.items, it)
+	case ".space":
+		v, err := a.parseConst(line, rest)
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 1<<26 {
+			return errf(line, ".space size %d out of range", v)
+		}
+		a.items = append(a.items, &item{line: line, space: int(v), org: -1})
+	case ".align":
+		v, err := a.parseConst(line, rest)
+		if err != nil {
+			return err
+		}
+		if v < 1 || v&(v-1) != 0 || v > 1<<16 {
+			return errf(line, ".align needs a power of two, got %d", v)
+		}
+		a.items = append(a.items, &item{line: line, align: int(v), org: -1})
+	default:
+		return errf(line, "unknown directive %s", word)
+	}
+	return nil
+}
+
+func (a *assembler) parseInstr(line int, text string) error {
+	mn, rest, _ := strings.Cut(text, " ")
+	mn = strings.ToLower(mn)
+	it := &item{line: line, mnemonic: mn, org: -1}
+	for _, f := range splitOperands(strings.TrimSpace(rest)) {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		op, err := a.parseOperand(line, f)
+		if err != nil {
+			return err
+		}
+		it.operands = append(it.operands, op)
+	}
+	a.items = append(a.items, it)
+	return nil
+}
+
+// splitOperands splits on commas outside quotes and brackets.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr, inChar := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inChar {
+				inStr = !inStr
+			}
+		case '\'':
+			if !inStr {
+				inChar = !inChar
+			}
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 && !inStr && !inChar {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// parseOperand parses one operand: register, immediate/symbol, or memory.
+func (a *assembler) parseOperand(line int, f string) (operand, error) {
+	// Optional size prefix for memory operands.
+	size := uint8(4)
+	sized := false
+	for _, p := range []struct {
+		word string
+		n    uint8
+	}{{"byte", 1}, {"word", 2}, {"dword", 4}} {
+		if strings.HasPrefix(f, p.word+" ") || strings.HasPrefix(f, p.word+"[") {
+			size = p.n
+			sized = true
+			f = strings.TrimSpace(f[len(p.word):])
+			break
+		}
+	}
+	if strings.HasPrefix(f, "[") {
+		if !strings.HasSuffix(f, "]") {
+			return operand{}, errf(line, "unterminated memory operand %q", f)
+		}
+		return a.parseMem(line, f[1:len(f)-1], size, sized)
+	}
+	if r := ia32.RegByName(f); r != ia32.RegNone {
+		return operand{kind: ia32.OperandReg, reg: r, size: r.Size()}, nil
+	}
+	// Immediate: number, char or symbol±offset.
+	val, sym, err := a.parseExpr(line, f)
+	if err != nil {
+		return operand{}, err
+	}
+	op := operand{kind: ia32.OperandImm, imm: val, immSym: sym, size: size, sized: sized}
+	return op, nil
+}
+
+// parseMem parses the inside of a bracketed memory operand: terms joined by
+// + and -, each a register, reg*scale, number, or symbol.
+func (a *assembler) parseMem(line int, body string, size uint8, sized bool) (operand, error) {
+	op := operand{kind: ia32.OperandMem, size: size, sized: sized}
+	for _, t := range splitTerms(body) {
+		term := strings.TrimSpace(t.text)
+		if term == "" {
+			return operand{}, errf(line, "empty term in memory operand [%s]", body)
+		}
+		// reg*scale or scale*reg?  Only reg*scale is supported.
+		if b, s2, ok := strings.Cut(term, "*"); ok {
+			r := ia32.RegByName(strings.TrimSpace(b))
+			if r == ia32.RegNone || !r.Is32() {
+				return operand{}, errf(line, "bad index register in %q", term)
+			}
+			sc, err := a.parseConst(line, strings.TrimSpace(s2))
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return operand{}, errf(line, "bad scale in %q", term)
+			}
+			if t.neg {
+				return operand{}, errf(line, "cannot negate scaled index %q", term)
+			}
+			if op.index != ia32.RegNone {
+				return operand{}, errf(line, "two index registers in [%s]", body)
+			}
+			op.index, op.scale = r, uint8(sc)
+			continue
+		}
+		if r := ia32.RegByName(term); r != ia32.RegNone {
+			if !r.Is32() {
+				return operand{}, errf(line, "address register %s must be 32-bit", r)
+			}
+			if t.neg {
+				return operand{}, errf(line, "cannot negate register %s in address", r)
+			}
+			switch {
+			case op.base == ia32.RegNone:
+				op.base = r
+			case op.index == ia32.RegNone:
+				op.index, op.scale = r, 1
+			default:
+				return operand{}, errf(line, "too many registers in [%s]", body)
+			}
+			continue
+		}
+		val, sym, err := a.parseExpr(line, term)
+		if err != nil {
+			return operand{}, err
+		}
+		if sym != "" {
+			if t.neg {
+				return operand{}, errf(line, "cannot subtract symbol %q", sym)
+			}
+			if op.dispSym != "" {
+				return operand{}, errf(line, "two symbols in [%s]", body)
+			}
+			op.dispSym = sym
+		}
+		if t.neg {
+			val = -val
+		}
+		op.disp += val
+	}
+	return op, nil
+}
+
+type term struct {
+	text string
+	neg  bool
+}
+
+func splitTerms(s string) []term {
+	var out []term
+	start := 0
+	neg := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			out = append(out, term{s[start:i], neg})
+			neg = s[i] == '-'
+			start = i + 1
+		}
+	}
+	return append(out, term{s[start:], neg})
+}
+
+// parseExpr parses "number", "'c'", "symbol", "symbol+number" or
+// "symbol-number", returning the numeric part and the symbol name ("" if
+// purely numeric). .equ constants are substituted immediately.
+func (a *assembler) parseExpr(line int, s string) (int64, string, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := parseNumber(s); ok {
+		return v, "", nil
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		c, err := strconv.Unquote(s)
+		if err != nil || len(c) != 1 {
+			return 0, "", errf(line, "bad character literal %s", s)
+		}
+		return int64(c[0]), "", nil
+	}
+	// symbol[±offset]
+	name := s
+	var off int64
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			name = strings.TrimSpace(s[:i])
+			v, ok := parseNumber(strings.TrimSpace(s[i+1:]))
+			if !ok {
+				return 0, "", errf(line, "bad offset in %q", s)
+			}
+			if s[i] == '-' {
+				v = -v
+			}
+			off = v
+			break
+		}
+	}
+	if !validIdent(name) {
+		return 0, "", errf(line, "bad expression %q", s)
+	}
+	if v, ok := a.equs[name]; ok {
+		return v + off, "", nil
+	}
+	return off, name, nil
+}
+
+// parseConst parses an expression that must be fully numeric at parse time
+// (.org, .equ, .space, .align, scales).
+func (a *assembler) parseConst(line int, s string) (int64, error) {
+	v, sym, err := a.parseExpr(line, s)
+	if err != nil {
+		return 0, err
+	}
+	if sym != "" {
+		return 0, errf(line, "constant expression required, got symbol %q", sym)
+	}
+	return v, nil
+}
+
+func parseNumber(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 33)
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		return -int64(v), true
+	}
+	return int64(v), true
+}
+
+func (a *assembler) parseDataExpr(line int, f string) (dataExpr, error) {
+	v, sym, err := a.parseExpr(line, f)
+	if err != nil {
+		return dataExpr{}, err
+	}
+	return dataExpr{val: v, sym: sym}, nil
+}

@@ -1,0 +1,100 @@
+// Package bbprofile is a pure profiling client — another of the
+// non-optimization uses the paper lists for the interface. It gives every
+// basic block an execution counter in transparent runtime memory,
+// incremented by real in-cache code (no callbacks), and reports the hottest
+// blocks at exit. The same information drives the runtime's own trace
+// decisions; a client-side profile like this is the starting point for
+// building custom trace policies or feedback files.
+package bbprofile
+
+import (
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/ia32"
+	"repro/internal/instr"
+)
+
+// Client profiles basic-block execution counts.
+type Client struct {
+	// TopN bounds the exit report.
+	TopN int
+
+	rio      *api.RIO
+	counters map[api.Addr]api.Addr // block tag -> counter address
+	sizes    map[api.Addr]int      // block tag -> instruction count
+}
+
+// New returns the client.
+func New() *Client { return &Client{TopN: 10} }
+
+// Name implements api.Client.
+func (c *Client) Name() string { return "bbprofile" }
+
+// Init sets up the profile storage.
+func (c *Client) Init(r *api.RIO) {
+	c.rio = r
+	c.counters = map[api.Addr]api.Addr{}
+	c.sizes = map[api.Addr]int{}
+}
+
+// BasicBlock gives the block a counter and plants the increment. Blocks
+// re-processed for trace incorporation share the original block's counter,
+// so a block's count is its total executions regardless of which fragment
+// ran it.
+func (c *Client) BasicBlock(ctx *api.Context, tag api.Addr, bb *instr.List) {
+	addr, ok := c.counters[tag]
+	if !ok {
+		addr = c.rio.AllocGlobal(4)
+		c.counters[tag] = addr
+		c.sizes[tag] = bb.InstrCount()
+	}
+	first := bb.First()
+	bb.InsertBefore(first, instr.CreatePushfd())
+	bb.InsertBefore(first, instr.CreateInc(ia32.AbsMem(addr)))
+	bb.InsertBefore(first, instr.CreatePopfd())
+}
+
+// Count returns the execution count of the block at tag.
+func (c *Client) Count(tag api.Addr) uint32 {
+	addr, ok := c.counters[tag]
+	if !ok {
+		return 0
+	}
+	return c.rio.M.Mem.Read32(addr)
+}
+
+// Entry is one row of the profile.
+type Entry struct {
+	Tag    api.Addr
+	Count  uint32
+	Instrs int
+}
+
+// Profile returns all blocks sorted by descending execution count.
+func (c *Client) Profile() []Entry {
+	out := make([]Entry, 0, len(c.counters))
+	for tag := range c.counters {
+		out = append(out, Entry{Tag: tag, Count: c.Count(tag), Instrs: c.sizes[tag]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// Exit reports the hottest blocks through transparent output.
+func (c *Client) Exit(r *api.RIO) {
+	prof := c.Profile()
+	n := c.TopN
+	if n > len(prof) {
+		n = len(prof)
+	}
+	r.Printf("bbprofile: %d blocks, top %d:\n", len(prof), n)
+	for _, e := range prof[:n] {
+		r.Printf("  %#08x  %10d executions  %3d instrs\n", e.Tag, e.Count, e.Instrs)
+	}
+}

@@ -1,0 +1,164 @@
+package clients_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/clients/bbprofile"
+	"repro/internal/clients/memtrace"
+	"repro/internal/machine"
+)
+
+func TestBBProfileCounts(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov ecx, 500
+loop:
+    dec ecx
+    jnz loop
+    call once
+`+exitSnippet+`
+once:
+    nop
+    ret
+`)
+	native := runNative(t, img, machine.PentiumIV())
+	var out strings.Builder
+	cl := bbprofile.New()
+	m, _ := runWith(t, img, machine.PentiumIV(), &out, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	// The loop block (tag = `loop`) executes 499 times (the first
+	// iteration runs inside the entry block); `once` executes once.
+	if got := cl.Count(img.Symbol("loop")); got != 499 {
+		t.Errorf("loop count = %d, want 499", got)
+	}
+	if got := cl.Count(img.Symbol("once")); got != 1 {
+		t.Errorf("once count = %d, want 1", got)
+	}
+	if cl.Count(0xdead) != 0 {
+		t.Error("unknown tag should count 0")
+	}
+	prof := cl.Profile()
+	if len(prof) < 3 {
+		t.Fatalf("profile has %d entries", len(prof))
+	}
+	if prof[0].Tag != img.Symbol("loop") {
+		t.Errorf("hottest block = %#x, want loop", prof[0].Tag)
+	}
+	for i := 1; i < len(prof); i++ {
+		if prof[i].Count > prof[i-1].Count {
+			t.Error("profile not sorted")
+		}
+	}
+	if !strings.Contains(out.String(), "bbprofile:") {
+		t.Errorf("missing exit report: %q", out.String())
+	}
+}
+
+func TestBBProfileSurvivesTraces(t *testing.T) {
+	// Counts stay exact when the hot block is absorbed into a trace
+	// (the trace's copy shares the same counter).
+	img := imgOf(t, `
+main:
+    mov ecx, 5000
+loop:
+    add eax, 2
+    dec ecx
+    jnz loop
+`+exitSnippet)
+	cl := bbprofile.New()
+	_, r := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if r.Stats.TracesBuilt == 0 {
+		t.Fatal("no trace built; test needs a hot loop")
+	}
+	if got := cl.Count(img.Symbol("loop")); got != 4999 {
+		t.Errorf("loop count = %d, want 4999", got)
+	}
+}
+
+func TestMemtraceRecordsAccesses(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov dword [buf], 7      ; store buf
+    mov eax, [buf]          ; load buf
+    mov [buf+4], eax        ; store buf+4
+    push eax                ; store stack
+    pop ebx                 ; load stack
+`+exitSnippet+`
+.org 0x8000
+buf: .word 0, 0
+`)
+	native := runNative(t, img, machine.PentiumIV())
+	cl := memtrace.New()
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	buf := img.Symbol("buf")
+	// Expected application accesses in order (stack addresses vary).
+	type exp struct {
+		ea    uint32
+		store bool
+		any   bool // stack: address unchecked
+	}
+	want := []exp{
+		{buf, true, false},
+		{buf, false, false},
+		{buf + 4, true, false},
+		{0, true, true},  // push
+		{0, false, true}, // pop
+	}
+	if len(cl.Trace) != len(want) {
+		t.Fatalf("trace length %d, want %d: %+v", len(cl.Trace), len(want), cl.Trace)
+	}
+	for i, w := range want {
+		got := cl.Trace[i]
+		if got.Store != w.store {
+			t.Errorf("access %d: store=%v want %v", i, got.Store, w.store)
+		}
+		if !w.any && got.EA != w.ea {
+			t.Errorf("access %d: ea=%#x want %#x", i, got.EA, w.ea)
+		}
+		if got.Size != 4 {
+			t.Errorf("access %d: size=%d", i, got.Size)
+		}
+	}
+	// push writes below the pop's read address by 0 (same slot).
+	if cl.Trace[3].EA != cl.Trace[4].EA {
+		t.Errorf("push/pop addresses differ: %#x vs %#x", cl.Trace[3].EA, cl.Trace[4].EA)
+	}
+}
+
+func TestMemtraceFilterAndMax(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov ecx, 100
+loop:
+    mov eax, [v]
+    mov [v], eax
+    dec ecx
+    jnz loop
+`+exitSnippet+`
+.org 0x8000
+v: .word 3
+`)
+	cl := memtrace.New()
+	cl.Max = 10
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if len(cl.Trace) != 10 {
+		t.Errorf("trace length %d, want capped at 10", len(cl.Trace))
+	}
+	if m.Threads[0].ExitCode != 0 {
+		t.Error("program did not finish")
+	}
+
+	cl2 := memtrace.New()
+	cl2.Filter = func(pc machine.Addr) bool { return false }
+	runWith(t, img, machine.PentiumIV(), nil, cl2)
+	if len(cl2.Trace) != 0 {
+		t.Errorf("filtered trace length %d, want 0", len(cl2.Trace))
+	}
+}

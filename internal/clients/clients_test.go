@@ -1,0 +1,524 @@
+// Package clients_test exercises the four sample optimizations of the
+// paper's Section 4 plus the instrumentation client: each must preserve
+// program behaviour exactly (transparency) and improve simulated execution
+// time on a workload exhibiting its target pattern.
+package clients_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/clients/ctrace"
+	"repro/internal/clients/ibdispatch"
+	"repro/internal/clients/inc2add"
+	"repro/internal/clients/inscount"
+	"repro/internal/clients/rlr"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/machine"
+)
+
+const exitSnippet = `
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+`
+
+func imgOf(t *testing.T, src string) *image.Image {
+	t.Helper()
+	img, err := image.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func runNative(t *testing.T, img *image.Image, prof *machine.Profile) *machine.Machine {
+	t.Helper()
+	m := machine.New(prof)
+	img.Boot(m)
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	return m
+}
+
+func runWith(t *testing.T, img *image.Image, prof *machine.Profile, out *strings.Builder, clients ...api.Client) (*machine.Machine, *core.RIO) {
+	t.Helper()
+	m := machine.New(prof)
+	var w *strings.Builder
+	if out != nil {
+		w = out
+	}
+	var r *core.RIO
+	if w != nil {
+		r = core.New(m, img, core.Default(), w, clients...)
+	} else {
+		r = core.New(m, img, core.Default(), nil, clients...)
+	}
+	if err := r.Run(200_000_000); err != nil {
+		t.Fatalf("under RIO: %v", err)
+	}
+	return m, r
+}
+
+// --- inc2add ---
+
+// incHeavy is a hot loop full of inc/dec with CF written (by the add) soon
+// after, so the transformation is legal.
+const incHeavy = `
+main:
+    mov ecx, 40000
+    xor ebx, ebx
+    xor esi, esi
+loop:
+    inc ebx
+    inc esi
+    dec edi
+    inc ebx
+    add ebx, 2          ; writes CF: makes the above convertible
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+` + exitSnippet
+
+func TestInc2AddConvertsOnP4(t *testing.T) {
+	img := imgOf(t, incHeavy)
+	native := runNative(t, img, machine.PentiumIV())
+
+	var out strings.Builder
+	cl := inc2add.New()
+	m, _ := runWith(t, img, machine.PentiumIV(), &out, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	if cl.NumConverted == 0 {
+		t.Fatalf("no conversions (examined %d)", cl.NumExamined)
+	}
+	if !strings.Contains(out.String(), "converted") {
+		t.Errorf("exit report missing: %q", out.String())
+	}
+
+	// And it must actually help relative to base on the P4.
+	mBase, _ := runWith(t, img, machine.PentiumIV(), nil)
+	if m.Ticks >= mBase.Ticks {
+		t.Errorf("inc2add did not speed up: %d vs base %d ticks", m.Ticks, mBase.Ticks)
+	}
+}
+
+func TestInc2AddDisabledOnP3(t *testing.T) {
+	img := imgOf(t, incHeavy)
+	var out strings.Builder
+	cl := inc2add.New()
+	_, _ = runWith(t, img, machine.PentiumIII(), &out, cl)
+	if cl.NumConverted != 0 || cl.NumExamined != 0 {
+		t.Errorf("client should be disabled on P3: examined=%d converted=%d",
+			cl.NumExamined, cl.NumConverted)
+	}
+	if !strings.Contains(out.String(), "kept original") {
+		t.Errorf("exit report = %q", out.String())
+	}
+}
+
+func TestInc2AddRespectsCFReaders(t *testing.T) {
+	// The inc's CF preservation is observable here (adc reads CF), so
+	// conversion must NOT happen for that inc.
+	img := imgOf(t, `
+main:
+    mov ecx, 30000
+    xor ebx, ebx
+    xor edx, edx
+loop:
+    mov eax, 0xffffffff
+    add eax, 1          ; CF=1
+    inc ebx             ; must keep CF
+    adc edx, 0          ; reads CF: accumulates carries
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80            ; prints ebx (30000)
+    mov ebx, edx
+    mov eax, 3
+    int 0x80            ; prints edx (30000 carries)
+`+exitSnippet)
+	native := runNative(t, img, machine.PentiumIV())
+	cl := inc2add.New()
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q (CF corruption!)", m.Output, native.Output)
+	}
+}
+
+// --- rlr ---
+
+// redundantLoads mimics compiled FP-benchmark code: tight loop repeatedly
+// loading the same stack slots.
+const redundantLoads = `
+main:
+    mov ebp, 0x100000
+    mov dword [ebp-4], 7
+    mov dword [ebp-8], 3
+    mov ecx, 40000
+    xor ebx, ebx
+loop:
+    mov eax, [ebp-4]
+    add ebx, eax
+    mov eax, [ebp-4]     ; redundant
+    add ebx, eax
+    mov edx, [ebp-8]
+    mov eax, [ebp-4]     ; redundant
+    add eax, edx
+    mov edx, [ebp-8]     ; redundant
+    add ebx, edx
+    add ebx, eax
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+` + exitSnippet
+
+func TestRLRRemovesLoads(t *testing.T) {
+	img := imgOf(t, redundantLoads)
+	native := runNative(t, img, machine.PentiumIV())
+	cl := rlr.New()
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	if cl.Removed+cl.Rewritten == 0 {
+		t.Fatal("no loads removed or rewritten")
+	}
+	mBase, _ := runWith(t, img, machine.PentiumIV(), nil)
+	if m.Ticks >= mBase.Ticks {
+		t.Errorf("rlr did not speed up: %d vs base %d", m.Ticks, mBase.Ticks)
+	}
+}
+
+func TestRLRRespectsStores(t *testing.T) {
+	// A store between loads changes the value; the second load is NOT
+	// redundant.
+	img := imgOf(t, `
+main:
+    mov ebp, 0x100000
+    mov ecx, 20000
+    xor ebx, ebx
+loop:
+    mov dword [ebp-4], 5
+    mov eax, [ebp-4]
+    mov dword [ebp-4], 9
+    mov eax, [ebp-4]    ; must load 9, not reuse 5
+    add ebx, eax
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	native := runNative(t, img, machine.PentiumIV())
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, rlr.New())
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+}
+
+func TestRLRRespectsRegisterKills(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov ebp, 0x100000
+    mov dword [ebp-4], 5
+    mov ecx, 20000
+    xor ebx, ebx
+loop:
+    mov eax, [ebp-4]
+    add eax, 1          ; eax no longer holds [ebp-4]
+    mov edx, eax
+    mov eax, [ebp-4]    ; must truly reload
+    add ebx, eax
+    add ebx, edx
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	native := runNative(t, img, machine.PentiumIV())
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, rlr.New())
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+}
+
+func TestRLRRespectsAddressRegisterChanges(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov esi, buf
+    mov dword [buf], 1
+    mov dword [buf+4], 2
+    mov ecx, 20000
+    xor ebx, ebx
+loop:
+    mov esi, buf
+    mov eax, [esi]      ; 1
+    add esi, 4
+    mov eax, [esi]      ; address changed: 2, not redundant
+    add ebx, eax
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+`+exitSnippet+`
+.org 0x8000
+buf: .word 0, 0
+`)
+	native := runNative(t, img, machine.PentiumIV())
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, rlr.New())
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+}
+
+// --- ibdispatch ---
+
+// indirectHeavy is an interpreter-style dispatch loop: the indirect jump
+// rotates over a few hot targets, so the trace's single inlined target
+// keeps missing until the dispatch chains are installed.
+const indirectHeavy = `
+main:
+    mov ecx, 60000
+    xor ebx, ebx
+    xor esi, esi
+loop:
+    mov eax, esi
+    and eax, 3
+    mov eax, [table+eax*4]
+    jmp eax
+op0:
+    add ebx, 1
+    jmp next
+op1:
+    add ebx, 2
+    jmp next
+op2:
+    add ebx, 3
+    jmp next
+op3:
+    add ebx, 4
+next:
+    inc esi
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+` + exitSnippet + `
+.org 0x8000
+table: .word op0, op1, op2, op3
+`
+
+func TestIBDispatchRewritesAndSpeedsUp(t *testing.T) {
+	img := imgOf(t, indirectHeavy)
+	native := runNative(t, img, machine.PentiumIV())
+	cl := ibdispatch.New()
+	m, r := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	if cl.Sites == 0 {
+		t.Fatal("no dispatch sites instrumented")
+	}
+	if cl.Rewrites == 0 {
+		t.Fatal("no adaptive rewrites happened")
+	}
+	if r.Stats.Replacements == 0 {
+		t.Fatal("no fragment replacements recorded")
+	}
+	mBase, rBase := runWith(t, img, machine.PentiumIV(), nil)
+	t.Logf("ibdispatch: %d ticks vs base %d (IBL misses %d vs %d)",
+		m.Ticks, mBase.Ticks, r.Stats.IBLMisses, rBase.Stats.IBLMisses)
+	if m.Ticks >= mBase.Ticks {
+		t.Errorf("ibdispatch did not speed up: %d vs base %d", m.Ticks, mBase.Ticks)
+	}
+}
+
+// --- ctrace ---
+
+// callHeavy invokes a tiny function from several call sites: the default
+// trace scheme keeps missing on the inlined return, custom traces don't.
+const callHeavy = `
+main:
+    mov ecx, 40000
+    xor ebx, ebx
+loop:
+    call f
+    call f
+    call f
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+` + exitSnippet + `
+f:  add ebx, 1
+    ret
+`
+
+func TestCTraceInlinesCalls(t *testing.T) {
+	img := imgOf(t, callHeavy)
+	native := runNative(t, img, machine.PentiumIV())
+	cl := ctrace.New()
+	m, r := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	if cl.HeadsMarked == 0 {
+		t.Error("no call targets marked as trace heads")
+	}
+	if r.Stats.TracesBuilt == 0 {
+		t.Error("no traces built")
+	}
+	if cl.ChecksRemoved == 0 {
+		t.Error("no return checks removed")
+	}
+	mBase, rBase := runWith(t, img, machine.PentiumIV(), nil)
+	t.Logf("ctrace: %d ticks vs base %d (IBL misses %d vs %d)",
+		m.Ticks, mBase.Ticks, r.Stats.IBLMisses, rBase.Stats.IBLMisses)
+	if m.Ticks >= mBase.Ticks {
+		t.Errorf("ctrace did not speed up: %d vs base %d", m.Ticks, mBase.Ticks)
+	}
+}
+
+func TestCTraceWithoutAssumptionStillCorrect(t *testing.T) {
+	img := imgOf(t, callHeavy)
+	native := runNative(t, img, machine.PentiumIV())
+	cl := ctrace.New()
+	cl.AssumeCallingConvention = false
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	if cl.ChecksRemoved != 0 {
+		t.Error("checks removed despite assumption off")
+	}
+}
+
+// --- inscount ---
+
+func TestInscountMatchesNativeInstructionCount(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov ecx, 1000
+loop:
+    dec ecx
+    jnz loop
+`+exitSnippet)
+	native := runNative(t, img, machine.PentiumIV())
+	var out strings.Builder
+	cl := inscount.New()
+	m, _ := runWith(t, img, machine.PentiumIV(), &out, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	// The instrumented count must equal the number of application
+	// instructions the native machine retired.
+	if cl.Count() != native.Stats.Instructions {
+		t.Errorf("inscount = %d, native retired %d", cl.Count(), native.Stats.Instructions)
+	}
+	if !strings.Contains(out.String(), "instructions executed") {
+		t.Errorf("missing exit report: %q", out.String())
+	}
+}
+
+// --- all four together (the paper's final bar) ---
+
+func TestAllClientsTogether(t *testing.T) {
+	// A workload touching every pattern at once.
+	img := imgOf(t, `
+main:
+    mov ebp, 0x100000
+    mov dword [ebp-4], 7
+    mov ecx, 30000
+    xor ebx, ebx
+    xor esi, esi
+loop:
+    mov eax, [ebp-4]
+    add ebx, eax
+    mov eax, [ebp-4]
+    add ebx, eax
+    inc esi
+    add ebx, 1
+    call f
+    mov eax, esi
+    and eax, 1
+    mov eax, [table+eax*4]
+    jmp eax
+t0: add ebx, 1
+    jmp next
+t1: add ebx, 2
+next:
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+`+exitSnippet+`
+f:  add ebx, 5
+    ret
+.org 0x8000
+table: .word t0, t1
+`)
+	native := runNative(t, img, machine.PentiumIV())
+	m, _ := runWith(t, img, machine.PentiumIV(), nil,
+		rlr.New(), inc2add.New(), ibdispatch.New(), ctrace.New())
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	mBase, _ := runWith(t, img, machine.PentiumIV(), nil)
+	t.Logf("combined: %d ticks, base %d, native %d", m.Ticks, mBase.Ticks, native.Ticks)
+	if m.Ticks >= mBase.Ticks {
+		t.Errorf("combined clients slower than base: %d vs %d", m.Ticks, mBase.Ticks)
+	}
+}
+
+// coreNewForShepherd builds a runtime with one client (helper for the
+// shepherd tests, which need the RIO handle without running).
+func coreNewForShepherd(m *machine.Machine, img *image.Image, cl api.Client) *core.RIO {
+	return core.New(m, img, core.Default(), nil, cl)
+}
+
+func TestRLRAdaptiveMode(t *testing.T) {
+	img := imgOf(t, redundantLoads)
+	native := runNative(t, img, machine.PentiumIV())
+
+	cl := rlr.NewAdaptive(20)
+	m, r := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	if cl.AdaptiveReplacements == 0 {
+		t.Fatal("no deferred optimizations fired")
+	}
+	if cl.Removed+cl.Rewritten == 0 {
+		t.Fatal("deferred optimization removed nothing")
+	}
+	if r.Stats.Replacements == 0 {
+		t.Error("no fragment replacements recorded")
+	}
+	// The deferred optimization must still beat the unoptimized base.
+	mBase, _ := runWith(t, img, machine.PentiumIV(), nil)
+	t.Logf("adaptive rlr: %d ticks vs base %d", m.Ticks, mBase.Ticks)
+	if m.Ticks >= mBase.Ticks {
+		t.Errorf("adaptive rlr did not speed up: %d vs %d", m.Ticks, mBase.Ticks)
+	}
+}
+
+func TestRLRAdaptiveColdTracesUntouched(t *testing.T) {
+	// With a threshold higher than the trace's execution count, the
+	// optimization never fires — cost deferred forever for cold traces.
+	img := imgOf(t, redundantLoads)
+	cl := rlr.NewAdaptive(10_000_000)
+	m, _ := runWith(t, img, machine.PentiumIV(), nil, cl)
+	if cl.AdaptiveReplacements != 0 {
+		t.Errorf("replacements = %d, want 0", cl.AdaptiveReplacements)
+	}
+	if m.Threads[0].ExitCode != 0 {
+		t.Error("program failed")
+	}
+}

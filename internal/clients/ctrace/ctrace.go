@@ -1,0 +1,169 @@
+// Package ctrace implements the paper's Section 4.4 client: custom traces
+// that inline entire procedure calls.
+//
+// The default trace scheme focuses on loops, so a hot procedure's return
+// often lands in a different trace from its call; invoked from many call
+// sites, the inlined return target keeps missing and falls into hashtable
+// lookups. This client instead marks call targets as trace heads and ends
+// traces shortly after returns: a trace then spans call → body → return →
+// return-target, so the inlined return almost always matches. Under the
+// further assumption that the calling convention holds (returns go where
+// the call said), the return's inline check is removed entirely.
+package ctrace
+
+import (
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/ia32"
+	"repro/internal/instr"
+)
+
+// Client implements call-inlining custom traces.
+type Client struct {
+	// AssumeCallingConvention removes return checks from traces
+	// entirely, as the paper's implementation does. Programs that return
+	// somewhere other than their call site will misbehave with this on.
+	AssumeCallingConvention bool
+
+	// MaxBlocks ends traces that absorb too many blocks, preventing
+	// unbounded unrolling of loops inside calls.
+	MaxBlocks int
+
+	rio *api.RIO
+
+	// HeadsMarked and ChecksRemoved count the client's actions.
+	HeadsMarked   int
+	ChecksRemoved int
+
+	states map[*api.Context]*threadState
+}
+
+// threadState is the per-thread end-of-trace state machine.
+type threadState struct {
+	curTrace api.Addr
+	lastTag  api.Addr
+	blocks   int
+	endNext  bool
+}
+
+// New returns the client with the paper's behaviour (calling-convention
+// assumption on).
+func New() *Client {
+	return &Client{AssumeCallingConvention: true, MaxBlocks: 24}
+}
+
+// Name implements api.Client.
+func (c *Client) Name() string { return "ctrace" }
+
+// Init captures the runtime handle.
+func (c *Client) Init(r *api.RIO) {
+	c.rio = r
+	c.states = map[*api.Context]*threadState{}
+}
+
+// Exit reports statistics.
+func (c *Client) Exit(r *api.RIO) {
+	r.Printf("ctrace: marked %d call targets as trace heads, removed %d return checks\n",
+		c.HeadsMarked, c.ChecksRemoved)
+}
+
+// BasicBlock marks blocks that end in a direct call as custom trace heads:
+// a trace beginning at the call site inlines the call, the callee, the
+// return, and the return target — which, by the calling convention, is this
+// very call site's continuation, so the inlined return target is
+// per-call-site and nearly always matches.
+func (c *Client) BasicBlock(ctx *api.Context, tag api.Addr, bb *instr.List) {
+	if _, ok := api.DirectCallTarget(bb); ok {
+		ctx.MarkTraceHead(tag)
+		c.HeadsMarked++
+	}
+}
+
+func (c *Client) stateOf(ctx *api.Context) *threadState {
+	st := c.states[ctx]
+	if st == nil {
+		st = &threadState{}
+		c.states[ctx] = st
+	}
+	return st
+}
+
+// EndTrace implements the paper's policy: a trace is terminated when a
+// maximum size is reached; once a return is reached, the trace is ended
+// after the next basic block (inlining the return target so the inlined
+// check nearly always matches).
+func (c *Client) EndTrace(ctx *api.Context, traceTag, nextTag api.Addr) api.EndTraceDecision {
+	st := c.stateOf(ctx)
+	if st.curTrace != traceTag {
+		// New trace: the head block is already in it.
+		st.curTrace = traceTag
+		st.lastTag = traceTag
+		st.blocks = 1
+		st.endNext = false
+	}
+	defer func() { st.lastTag = nextTag; st.blocks++ }()
+
+	if st.endNext {
+		st.endNext = false
+		return api.EndTraceEnd
+	}
+	if st.blocks >= c.MaxBlocks {
+		return api.EndTraceEnd
+	}
+	if api.BlockEndsInReturn(c.rio, st.lastTag) {
+		// The block just added ended in a return: inline one more
+		// block (the return target), then end.
+		st.endNext = true
+		return api.EndTraceContinue
+	}
+	return api.EndTraceDefault
+}
+
+// Trace removes the return checks the calling-convention assumption makes
+// unnecessary: only those whose matching call was inlined earlier in the
+// same trace (its return-address push is visible), so the pushed address is
+// known to be the trace's own continuation. A return whose call happened
+// before the trace began keeps its check — its target genuinely varies.
+func (c *Client) Trace(ctx *api.Context, tag api.Addr, trace *instr.List) {
+	if !c.AssumeCallingConvention {
+		return
+	}
+	checks := api.FindInlineChecks(trace)
+	if len(checks) == 0 {
+		return
+	}
+	byMiss := map[*instr.Instr]api.InlineCheck{}
+	for _, ic := range checks {
+		byMiss[ic.Miss] = ic
+	}
+
+	// Walk the trace tracking inlined-call return-address pushes.
+	var callStack []api.Addr
+	var removable []api.InlineCheck
+	for i := trace.First(); i != nil; i = i.Next() {
+		if i.IsBundle() {
+			continue
+		}
+		op := i.Opcode()
+		if op == ia32.OpPush && i.Meta() && i.Src(0).IsImm() {
+			// A call inlined by trace construction pushes its original
+			// return address as an immediate.
+			callStack = append(callStack, api.Addr(i.Src(0).Imm))
+			continue
+		}
+		ic, isMiss := byMiss[i]
+		if !isMiss || ic.Type != core.BranchRet {
+			continue
+		}
+		if n := len(callStack); n > 0 && callStack[n-1] == ic.Expected {
+			callStack = callStack[:n-1]
+			removable = append(removable, ic)
+		} else {
+			callStack = callStack[:0] // unmatched return: stop trusting
+		}
+	}
+	for _, ic := range removable {
+		api.RemoveInlineCheck(trace, ic)
+		c.ChecksRemoved++
+	}
+}

@@ -1,0 +1,215 @@
+// Package ibdispatch implements the paper's Section 4.3 client: adaptive
+// indirect-branch dispatch by value profiling.
+//
+// When a trace inlines through an indirect branch, targets other than the
+// inlined one fall into the hashtable lookup — the single greatest source
+// of overhead in the system. This client reshapes each inlined check so
+// that the miss path runs through a dispatch area at the bottom of the
+// trace (the paper's Figure 4): initially just a profiling call followed by
+// the exit to the hashtable lookup. The profiling call records observed
+// targets; once enough samples accumulate the trace rewrites itself — using
+// the adaptive interface DecodeFragment/ReplaceFragment, from inside its
+// own profiling call — inserting compare-plus-conditional-branch pairs for
+// the hottest targets ahead of the profiling call. Matched targets leave
+// through ordinary direct exits (linked like any other, so no lookup at
+// all); their custom exit stubs restore the saved flags and ECX, which is
+// what the custom-stub API exists for.
+//
+// Per the paper, installed targets are never removed, and the profiling
+// call remains, reachable only when no installed target matches.
+package ibdispatch
+
+import (
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/ia32"
+	"repro/internal/instr"
+)
+
+// Client implements the adaptive indirect branch dispatch optimization.
+type Client struct {
+	// Threshold is the number of miss-path samples that triggers a
+	// rewrite of the owning trace.
+	Threshold int
+	// MaxTargets bounds the compare chain per dispatch site.
+	MaxTargets int
+
+	rio *api.RIO
+
+	// Rewrites counts trace self-replacements; Sites counts dispatch
+	// sites instrumented.
+	Rewrites int
+	Sites    int
+}
+
+// New returns the client with the paper-flavoured defaults.
+func New() *Client { return &Client{Threshold: 48, MaxTargets: 4} }
+
+// Name implements api.Client.
+func (c *Client) Name() string { return "ibdispatch" }
+
+// Init captures the runtime handle.
+func (c *Client) Init(r *api.RIO) { c.rio = r }
+
+// Exit reports statistics.
+func (c *Client) Exit(r *api.RIO) {
+	r.Printf("ibdispatch: %d sites, %d rewrites\n", c.Sites, c.Rewrites)
+}
+
+// site is the profiling state of one inlined-indirect-branch dispatch area.
+type site struct {
+	client   *Client
+	traceTag api.Addr
+	id       uint32
+
+	samples   map[api.Addr]int
+	total     int
+	installed map[api.Addr]bool
+}
+
+// Trace reshapes each inlined indirect-branch check in a new trace,
+// diverting the miss path to a dispatch area at the bottom of the trace
+// with a profiling clean call.
+//
+// Before:
+//
+//	cmp ecx, expected
+//	jnz <exit to lookup>          ; the miss leaves immediately
+//	popfd ...
+//
+// After:
+//
+//	cmp ecx, expected
+//	jnz dispatch                  ; miss goes to the bottom of the trace
+//	popfd ...
+//	...rest of trace...
+//	dispatch:                     ; (rewrites insert cmp/je pairs here)
+//	mov [spill], eax; mov eax, id; call <runtime>   ; profiling call
+//	jmp <exit to lookup>          ; unchanged final destination
+func (c *Client) Trace(ctx *api.Context, tag api.Addr, trace *instr.List) {
+	for _, ic := range api.FindInlineChecks(trace) {
+		c.Sites++
+		s := &site{
+			client:    c,
+			traceTag:  tag,
+			samples:   map[api.Addr]int{},
+			installed: map[api.Addr]bool{},
+		}
+		s.id = c.rio.RegisterCleanCall(func(cctx *api.Context) { s.profile(cctx) })
+
+		// The dispatch area's final exit: an unconditional jump with
+		// the same class (and thus the same flags-restoring stub) as
+		// the original miss exit.
+		finalExit := instr.CreateJmp(0)
+		finalExit.SetExitClass(ic.Miss.ExitClass())
+		trace.Append(finalExit)
+		api.InsertCleanCall(ctx, trace, finalExit, s.id)
+		// InsertCleanCall placed three instructions before finalExit;
+		// the first is the dispatch area's entry.
+		dispatchStart := finalExit.Prev().Prev().Prev()
+
+		// Replace the original miss exit with an intra-trace branch to
+		// the dispatch area.
+		jcc := instr.CreateJcc(ia32.OpJnz, 0)
+		jcc.SetTargetInstr(dispatchStart)
+		trace.Replace(ic.Miss, jcc)
+	}
+}
+
+// profile records the observed target (in ECX by the mangling convention)
+// and rewrites the trace once the sample threshold is reached. It runs as a
+// clean call on the trace's miss path.
+func (s *site) profile(ctx *api.Context) {
+	target := api.Addr(ctx.Thread().CPU.Reg(ia32.ECX))
+	s.samples[target]++
+	s.total++
+	if s.total < s.client.Threshold || len(s.installed) >= s.client.MaxTargets {
+		return
+	}
+	s.total = 0 // re-arm for another round with fresh samples
+	s.rewrite(ctx)
+}
+
+// rewrite performs the Figure 4 transformation: the trace generates a new
+// version of itself with compare/branch pairs for the hottest observed
+// targets inserted ahead of the profiling call. The replacement happens
+// while execution is inside the old fragment; the runtime's delayed
+// deletion makes that safe.
+func (s *site) rewrite(ctx *api.Context) {
+	il := ctx.DecodeFragment(s.traceTag)
+	if il == nil {
+		return
+	}
+	// Locate this site's clean-call sequence: mov eax, <id> followed by
+	// the call; insertion happens before the preceding EAX spill.
+	var anchor *instr.Instr
+	for i := il.First(); i != nil; i = i.Next() {
+		if i.Opcode() == ia32.OpMov && i.NumSrcs() > 0 &&
+			i.Src(0).IsImm() && uint32(i.Src(0).Imm) == s.id &&
+			i.NumDsts() > 0 && i.Dst(0).IsReg(ia32.EAX) {
+			anchor = i.Prev() // the mov [spill], eax
+			break
+		}
+	}
+	if anchor == nil {
+		return
+	}
+
+	// Pick the hottest not-yet-installed targets.
+	type cand struct {
+		tag api.Addr
+		n   int
+	}
+	var cands []cand
+	for t, n := range s.samples {
+		if !s.installed[t] {
+			cands = append(cands, cand{t, n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].tag < cands[j].tag
+	})
+	room := s.client.MaxTargets - len(s.installed)
+	if room < len(cands) {
+		cands = cands[:room]
+	}
+	if len(cands) == 0 {
+		return
+	}
+
+	// Insert cmp/je pairs. At this point in the code the application's
+	// flags are already pushed (the inline check pushed them), ECX holds
+	// the actual target and the application ECX is spilled — so each hit
+	// exits through a custom stub that pops the flags and restores ECX.
+	var firstInserted *instr.Instr
+	for _, cd := range cands {
+		s.installed[cd.tag] = true
+		stub := instr.NewList(
+			instr.CreatePopfd(),
+			instr.CreateMov(ia32.RegOp(ia32.ECX), ctx.IndirectSpillOp()),
+		)
+		cmp := il.InsertBefore(anchor,
+			instr.CreateCmp(ia32.RegOp(ia32.ECX), ia32.Imm32(int64(int32(cd.tag)))))
+		if firstInserted == nil {
+			firstInserted = cmp
+		}
+		il.InsertBefore(anchor,
+			api.NewDirectExit(ia32.OpJz, cd.tag, stub, true))
+	}
+
+	// Branches into the dispatch area point at the profiling call's first
+	// instruction; route them through the new compare chain instead.
+	for i := il.First(); i != nil; i = i.Next() {
+		if i.TargetInstr() == anchor {
+			i.SetTargetInstr(firstInserted)
+		}
+	}
+
+	if ctx.ReplaceFragment(s.traceTag, il) {
+		s.client.Rewrites++
+	}
+}

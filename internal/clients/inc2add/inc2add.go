@@ -1,0 +1,105 @@
+// Package inc2add is the paper's Figure 3 client: an architecture-specific
+// strength reduction that replaces inc with add 1 (and dec with sub 1) on
+// processors where the latter is faster (the Pentium 4), leaving the code
+// untouched elsewhere (the Pentium 3, where the opposite holds).
+//
+// The transformation is legal only when the difference in eflags behaviour
+// is invisible: add writes CF but inc does not, so the replacement is done
+// only when CF is written again (without first being read) before the first
+// exit from the trace.
+package inc2add
+
+import (
+	"repro/internal/api"
+	"repro/internal/ia32"
+	"repro/internal/instr"
+	"repro/internal/machine"
+)
+
+// Client implements the inc→add 1 strength reduction.
+type Client struct {
+	enable bool
+
+	// NumExamined and NumConverted mirror the counters the Figure 3
+	// client reports at exit.
+	NumExamined  int
+	NumConverted int
+}
+
+// New returns the client.
+func New() *Client { return &Client{} }
+
+// Name implements api.Client.
+func (c *Client) Name() string { return "inc2add" }
+
+// Init enables the transformation only on the Pentium 4, exactly as the
+// paper's dynamorio_init does with proc_get_family.
+func (c *Client) Init(r *api.RIO) {
+	c.enable = r.ProcessorFamily() == machine.FamilyPentium4
+}
+
+// Exit reports the counters through transparent output.
+func (c *Client) Exit(r *api.RIO) {
+	if c.enable {
+		r.Printf("converted %d out of %d\n", c.NumConverted, c.NumExamined)
+	} else {
+		r.Printf("kept original inc/dec\n")
+	}
+}
+
+// Trace walks each new trace looking for inc and dec instructions, as in
+// Figure 3.
+func (c *Client) Trace(ctx *api.Context, tag api.Addr, trace *instr.List) {
+	if !c.enable {
+		return
+	}
+	trace.Instrs(func(in *instr.Instr) bool {
+		if in.IsBundle() {
+			return true
+		}
+		op := in.Opcode()
+		if op == ia32.OpInc || op == ia32.OpDec {
+			c.NumExamined++
+			if c.convert(trace, in) {
+				c.NumConverted++
+			}
+		}
+		return true
+	})
+}
+
+// convert replaces one inc/dec with add/sub 1 if the eflags difference is
+// invisible: scanning forward, CF must be written before it is read, and
+// the scan gives up at the first control transfer out of the trace (the
+// paper's simplification: "stop at first exit").
+func (c *Client) convert(trace *instr.List, in *instr.Instr) bool {
+	okToReplace := false
+	for cur := in; cur != nil; cur = cur.Next() {
+		if cur.IsBundle() {
+			return false // undecoded code: assume the worst
+		}
+		eflags := cur.Eflags()
+		if cur != in && eflags&ia32.EflagsReadCF != 0 {
+			return false
+		}
+		if cur != in && eflags&ia32.EflagsWriteCF != 0 {
+			okToReplace = true
+			break
+		}
+		if cur != in && cur.IsCTI() {
+			return false
+		}
+	}
+	if !okToReplace {
+		return false
+	}
+	var repl *instr.Instr
+	if in.Opcode() == ia32.OpInc {
+		repl = instr.CreateAdd(in.Dst(0), ia32.Imm8(1))
+	} else {
+		repl = instr.CreateSub(in.Dst(0), ia32.Imm8(1))
+	}
+	repl.SetPrefixes(in.Prefixes())
+	trace.Replace(in, repl)
+	return true
+}

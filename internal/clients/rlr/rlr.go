@@ -1,0 +1,245 @@
+// Package rlr implements the paper's Section 4.1 client: dynamic redundant
+// load removal. Because IA-32 has so few registers, compiled code
+// constantly reloads local variables from the stack; when the loaded value
+// is provably already in a register, the load is replaced by a
+// register-to-register move (or removed outright when it targets the same
+// register). Operating on traces lets the optimization see across the basic
+// block boundaries that hide these loads from a static compiler.
+//
+// The analysis is a single forward pass over the linear trace, tracking
+// register↔memory bindings:
+//
+//   - mov reg, [M] and mov [M], reg establish "reg holds [M]";
+//   - a later mov reg2, [M] with the same address expression becomes
+//     mov reg2, reg (same flags behaviour: none) or is deleted if reg2=reg;
+//   - writing a register kills bindings that use it as value, base or
+//     index; stores kill bindings that may alias.
+//
+// Aliasing is judged syntactically, with two documented assumptions typical
+// of such dynamic optimizers: distinct absolute addresses do not overlap,
+// and stack (ESP-based) stores do not alias non-stack addresses. Runtime
+// meta-instructions (register spills to runtime-private TLS) never alias
+// application memory by construction and are skipped as stores.
+package rlr
+
+import (
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/ia32"
+	"repro/internal/instr"
+)
+
+// Client implements redundant load removal on traces.
+type Client struct {
+	// Removed and Rewritten count deleted loads and loads converted to
+	// register moves.
+	Removed   int
+	Rewritten int
+
+	// AdaptiveThreshold, when positive, defers the optimization: new
+	// traces get only a lightweight in-cache execution counter, and a
+	// trace is decoded, optimized and replaced (the paper's Section 3.4
+	// adaptive interface) only after it has executed that many times —
+	// so optimization time is spent exclusively on traces proven hot.
+	// Zero (the default) optimizes every trace eagerly at creation.
+	AdaptiveThreshold int
+
+	// AdaptiveReplacements counts deferred optimizations performed.
+	AdaptiveReplacements int
+
+	rio *api.RIO
+}
+
+// New returns the eager client.
+func New() *Client { return &Client{} }
+
+// NewAdaptive returns a client that optimizes a trace only after it has
+// executed threshold times.
+func NewAdaptive(threshold int) *Client {
+	return &Client{AdaptiveThreshold: threshold}
+}
+
+// Init captures the runtime handle (used by the adaptive mode).
+func (c *Client) Init(r *api.RIO) { c.rio = r }
+
+// Name implements api.Client.
+func (c *Client) Name() string { return "rlr" }
+
+// Exit reports statistics transparently.
+func (c *Client) Exit(r *api.RIO) {
+	r.Printf("rlr: removed %d loads, rewrote %d into register moves\n",
+		c.Removed, c.Rewritten)
+}
+
+// binding records that reg holds the value of the 32-bit memory location
+// mem.
+type binding struct {
+	mem ia32.Operand
+	reg ia32.Reg
+}
+
+// Trace either optimizes the new trace immediately (eager mode) or plants a
+// hotness counter whose threshold triggers deferred optimization through
+// DecodeFragment/ReplaceFragment — the exact usage example of the paper's
+// Section 3.4 ("a client that inserts profiling code into selected traces;
+// once a threshold is reached, the profiling code ... rewrites the trace").
+func (c *Client) Trace(ctx *api.Context, tag api.Addr, trace *instr.List) {
+	if c.AdaptiveThreshold <= 0 {
+		c.optimize(trace)
+		return
+	}
+	count := 0
+	var id uint32
+	id = c.rio.RegisterCleanCall(func(cctx *api.Context) {
+		count++
+		if count != c.AdaptiveThreshold {
+			return
+		}
+		il := cctx.DecodeFragment(tag)
+		if il == nil {
+			return
+		}
+		// Strip this profiling call from the new version: the work is
+		// done. (The sequence is mov [spill],eax; mov eax,id; call.)
+		for i := il.First(); i != nil; i = i.Next() {
+			if i.Opcode() == ia32.OpMov && i.NumSrcs() > 0 && i.Src(0).IsImm() &&
+				uint32(i.Src(0).Imm) == id && i.NumDsts() > 0 && i.Dst(0).IsReg(ia32.EAX) {
+				spill, call := i.Prev(), i.Next()
+				il.Remove(spill)
+				il.Remove(call)
+				il.Remove(i)
+				break
+			}
+		}
+		c.optimize(il)
+		if cctx.ReplaceFragment(tag, il) {
+			c.AdaptiveReplacements++
+		}
+	})
+	api.InsertCleanCall(ctx, trace, trace.First(), id)
+}
+
+// optimize runs the forward pass over a linear instruction list.
+func (c *Client) optimize(trace *instr.List) {
+	var avail []binding
+
+	kill := func(pred func(binding) bool) {
+		out := avail[:0]
+		for _, b := range avail {
+			if !pred(b) {
+				out = append(out, b)
+			}
+		}
+		avail = out
+	}
+	killReg := func(r ia32.Reg) {
+		full := r.Full()
+		kill(func(b binding) bool {
+			return b.reg == full || b.mem.UsesReg(full)
+		})
+	}
+	killStore := func(m ia32.Operand) {
+		kill(func(b binding) bool { return mayAlias(b.mem, m) })
+	}
+	find := func(m ia32.Operand) (ia32.Reg, bool) {
+		for _, b := range avail {
+			if b.mem.SameAddress(m) {
+				return b.reg, true
+			}
+		}
+		return ia32.RegNone, false
+	}
+	bind := func(m ia32.Operand, r ia32.Reg) {
+		killStore(m) // a fresh binding supersedes aliases
+		avail = append(avail, binding{m, r})
+	}
+
+	trace.Instrs(func(in *instr.Instr) bool {
+		if in.IsBundle() {
+			avail = avail[:0] // undecoded code: assume anything
+			return true
+		}
+		op := in.Opcode()
+
+		// Candidate replacement: a 32-bit register load.
+		if op == ia32.OpMov && !in.Meta() {
+			dst, src := in.Dst(0), in.Src(0)
+			switch {
+			case dst.Kind == ia32.OperandReg && dst.Reg.Is32() && src.IsMem() && src.Size == 4:
+				if reg, ok := find(src); ok {
+					if reg == dst.Reg {
+						trace.Remove(in)
+						c.Removed++
+					} else {
+						repl := instr.CreateMov(dst, ia32.RegOp(reg))
+						trace.Replace(in, repl)
+						c.Rewritten++
+						killReg(dst.Reg)
+						if !src.UsesReg(dst.Reg) {
+							avail = append(avail, binding{src, dst.Reg})
+						}
+					}
+					return true
+				}
+				killReg(dst.Reg)
+				// A load whose address uses its own destination cannot
+				// be remembered: the address expression just changed.
+				if !src.UsesReg(dst.Reg) {
+					bind(src, dst.Reg)
+				}
+				return true
+
+			case dst.IsMem() && dst.Size == 4 && src.Kind == ia32.OperandReg && src.Reg.Is32():
+				bind(dst, src.Reg)
+				return true
+			}
+		}
+
+		// General effects: register writes and stores invalidate.
+		if !in.IsCTI() { // branches read flags/targets only
+			n := in.NumDsts()
+			for i := 0; i < n; i++ {
+				d := in.Dst(i)
+				switch d.Kind {
+				case ia32.OperandReg:
+					killReg(d.Reg)
+				case ia32.OperandMem:
+					if !in.Meta() {
+						killStore(d)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mayAlias reports whether a store to b could change the value at a, under
+// the package's documented assumptions.
+func mayAlias(a, b ia32.Operand) bool {
+	aAbs := a.Base == ia32.RegNone && a.Index == ia32.RegNone
+	bAbs := b.Base == ia32.RegNone && b.Index == ia32.RegNone
+	// Stores into runtime-private memory (register spill slots, runtime
+	// allocations) never alias application locations. This matters in
+	// adaptive mode, where re-decoded fragments no longer carry meta
+	// marks on the runtime's own spill instructions.
+	if bAbs && core.IsRuntimeAddress(api.Addr(uint32(b.Disp))) && !aAbs {
+		return false
+	}
+	switch {
+	case aAbs && bAbs:
+		return overlaps(a.Disp, int32(a.Size), b.Disp, int32(b.Size))
+	case a.Base == b.Base && a.Index == b.Index && a.Scale == b.Scale:
+		return overlaps(a.Disp, int32(a.Size), b.Disp, int32(b.Size))
+	case a.Base == ia32.ESP || b.Base == ia32.ESP:
+		// Stack discipline assumption: ESP-based accesses do not alias
+		// differently-based ones.
+		return a.Base == b.Base
+	default:
+		return true // unknown: conservative
+	}
+}
+
+func overlaps(d1, s1, d2, s2 int32) bool {
+	return d1 < d2+s2 && d2 < d1+s1
+}

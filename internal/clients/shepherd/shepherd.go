@@ -1,0 +1,173 @@
+// Package shepherd is a program-shepherding client in the style the paper
+// cites (Kiriansky, Bruening, Amarasinghe: "Secure Execution via Program
+// Shepherding", USENIX Security 2002): because every instruction passes
+// through the runtime before execution, a client can enforce a security
+// policy on all control flow with no cooperation from the application.
+//
+// The policy enforced here is restricted indirect control transfer:
+//
+//   - indirect calls and jumps may only target addresses this client has
+//     seen as direct-call targets or which the embedder whitelisted;
+//   - returns may only target an address immediately following some call
+//     site observed in the program.
+//
+// Enforcement uses clean calls inserted ahead of each block's indirect
+// branch: the callback recomputes the branch target from the application's
+// registers and memory (the operand is captured at block-build time) and
+// checks it against the policy before the branch executes. A violation —
+// e.g. a smashed return address — stops the thread before control escapes.
+package shepherd
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/ia32"
+	"repro/internal/instr"
+	"repro/internal/machine"
+)
+
+// Violation describes a blocked transfer.
+type Violation struct {
+	Kind   string // "return", "indirect call", "indirect jump"
+	From   api.Addr
+	Target api.Addr
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("shepherd: blocked %s at %#x targeting %#x", v.Kind, v.From, v.Target)
+}
+
+// Client enforces the indirect-transfer policy.
+type Client struct {
+	// OnViolation is called for each blocked transfer; if nil, the
+	// violation is reported through transparent output. Either way the
+	// offending thread is halted.
+	OnViolation func(Violation)
+
+	// TrustSymbols whitelists every named symbol of the program image as
+	// an indirect-transfer target (the moral equivalent of trusting a
+	// binary's symbol table / jump tables). Leave false for the strict
+	// policy that only learns targets from observed direct calls and
+	// explicit Allow calls.
+	TrustSymbols bool
+
+	rio *api.RIO
+
+	validTargets map[api.Addr]bool // legitimate entries for indirect call/jmp
+	validReturns map[api.Addr]bool // addresses following known call sites
+
+	// Checks counts policy checks executed; Violations the blocked ones.
+	Checks     int
+	Violations int
+}
+
+// New returns the client with an empty whitelist.
+func New() *Client {
+	return &Client{
+		validTargets: map[api.Addr]bool{},
+		validReturns: map[api.Addr]bool{},
+	}
+}
+
+// Name implements api.Client.
+func (c *Client) Name() string { return "shepherd" }
+
+// Init records the program entry (and, with TrustSymbols, every named
+// symbol) as a valid target.
+func (c *Client) Init(r *api.RIO) {
+	c.rio = r
+	c.validTargets[r.Img.Entry] = true
+	if c.TrustSymbols {
+		for _, addr := range r.Img.Symbols {
+			c.validTargets[addr] = true
+		}
+	}
+}
+
+// Allow whitelists an indirect-transfer target (e.g. entries of a
+// hand-built jump table the client knows about).
+func (c *Client) Allow(target api.Addr) { c.validTargets[target] = true }
+
+// Exit reports statistics.
+func (c *Client) Exit(r *api.RIO) {
+	r.Printf("shepherd: %d checks, %d violations\n", c.Checks, c.Violations)
+}
+
+// BasicBlock learns legitimate targets from the code itself and arms the
+// checks: direct call targets become valid function entries, the addresses
+// after call sites become valid return targets, and every indirect
+// block-ending CTI gets a policy check planted ahead of it.
+func (c *Client) BasicBlock(ctx *api.Context, tag api.Addr, bb *instr.List) {
+	last := bb.Last()
+	if last == nil || last.IsBundle() || !last.IsCTI() {
+		return
+	}
+	op := last.Opcode()
+	fallthru := last.PC() + api.Addr(last.Len())
+
+	switch {
+	case op == ia32.OpCall:
+		if target, ok := last.Target(); ok {
+			c.validTargets[target] = true
+		}
+		c.validReturns[fallthru] = true
+
+	case op == ia32.OpCallInd:
+		c.validReturns[fallthru] = true
+		c.armCheck(ctx, bb, last, "indirect call", last.Src(0))
+
+	case op == ia32.OpJmpInd:
+		c.armCheck(ctx, bb, last, "indirect jump", last.Src(0))
+
+	case op == ia32.OpRet:
+		c.armCheck(ctx, bb, last, "return", ia32.MemOp(ia32.ESP, ia32.RegNone, 0, 0, 4))
+	}
+}
+
+// armCheck inserts a clean call before the indirect CTI; the callback
+// recomputes the target from the captured operand and enforces the policy.
+func (c *Client) armCheck(ctx *api.Context, bb *instr.List, cti *instr.Instr, kind string, operand ia32.Operand) {
+	site := cti.PC()
+	id := c.rio.RegisterCleanCall(func(cctx *api.Context) {
+		c.Checks++
+		target := c.resolve(cctx.Thread(), operand)
+		ok := false
+		switch kind {
+		case "return":
+			ok = c.validReturns[target]
+		default:
+			ok = c.validTargets[target]
+		}
+		if ok {
+			return
+		}
+		c.Violations++
+		v := Violation{Kind: kind, From: site, Target: target}
+		if c.OnViolation != nil {
+			c.OnViolation(v)
+		} else {
+			c.rio.Printf("%s\n", v)
+		}
+		cctx.Thread().Halted = true
+	})
+	api.InsertCleanCall(ctx, bb, cti, id)
+}
+
+// resolve computes the branch target the operand currently denotes.
+func (c *Client) resolve(t *machine.Thread, o ia32.Operand) api.Addr {
+	switch o.Kind {
+	case ia32.OperandReg:
+		return t.CPU.Reg(o.Reg)
+	case ia32.OperandMem:
+		addr := uint32(o.Disp)
+		if o.Base != ia32.RegNone {
+			addr += t.CPU.Reg(o.Base)
+		}
+		if o.Index != ia32.RegNone {
+			addr += t.CPU.Reg(o.Index) * uint32(o.Scale)
+		}
+		return t.Machine().Mem.Read32(addr)
+	}
+	return 0
+}

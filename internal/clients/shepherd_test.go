@@ -1,0 +1,137 @@
+package clients_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/clients/shepherd"
+	"repro/internal/machine"
+)
+
+func TestShepherdAllowsNormalPrograms(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov ecx, 50
+    xor ebx, ebx
+loop:
+    call f
+    mov eax, [tbl]
+    call eax            ; indirect call to a known function entry
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+`+exitSnippet+`
+f:  add ebx, 1
+    ret
+g:  add ebx, 10
+    ret
+.org 0x8000
+tbl: .word g
+`)
+	native := runNative(t, img, machine.PentiumIV())
+	cl := shepherd.New()
+	// g is only ever called indirectly, so the client never sees it as a
+	// direct call target; whitelist it as the embedder would for
+	// exported entry points.
+	cl.Allow(img.Symbol("g"))
+	var out strings.Builder
+	m, _ := runWith(t, img, machine.PentiumIV(), &out, cl)
+	if !bytes.Equal(m.Output, native.Output) {
+		t.Fatalf("output %q != native %q", m.Output, native.Output)
+	}
+	if cl.Violations != 0 {
+		t.Errorf("%d violations on a benign program", cl.Violations)
+	}
+	if cl.Checks == 0 {
+		t.Error("no checks executed")
+	}
+	if !strings.Contains(out.String(), "shepherd:") {
+		t.Errorf("missing report: %q", out.String())
+	}
+}
+
+func TestShepherdBlocksSmashedReturn(t *testing.T) {
+	// The classic attack: victim overwrites its own return address with
+	// the address of injected "evil" code. Natively the attack succeeds
+	// (evil output appears); under shepherding the thread is stopped at
+	// the return, before control escapes.
+	img := imgOf(t, `
+main:
+    call victim
+    mov eax, 2
+    mov ebx, 'G'        ; good path marker
+    int 0x80
+`+exitSnippet+`
+victim:
+    mov dword [esp], evil   ; smash the return address
+    ret
+evil:
+    mov eax, 2
+    mov ebx, 'E'        ; attacker payload marker
+    int 0x80
+    mov eax, 1
+    mov ebx, 13
+    int 0x80
+`)
+	// Natively the attack works.
+	native := runNative(t, img, machine.PentiumIV())
+	if got := native.OutputString(); got != "E" {
+		t.Fatalf("native attack output = %q, want E (attack must work natively)", got)
+	}
+
+	var caught []shepherd.Violation
+	cl := shepherd.New()
+	cl.OnViolation = func(v shepherd.Violation) { caught = append(caught, v) }
+
+	m := machine.New(machine.PentiumIV())
+	r := coreNewForShepherd(m, img, cl)
+	if err := r.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(caught) != 1 {
+		t.Fatalf("violations = %d, want 1", len(caught))
+	}
+	v := caught[0]
+	if v.Kind != "return" || v.Target != img.Symbol("evil") {
+		t.Errorf("violation = %+v", v)
+	}
+	if strings.Contains(m.OutputString(), "E") {
+		t.Errorf("attacker payload ran: output %q", m.OutputString())
+	}
+	if !m.Threads[0].Halted {
+		t.Error("offending thread not stopped")
+	}
+}
+
+func TestShepherdBlocksWildIndirectJump(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov eax, evil
+    jmp eax
+good:
+`+exitSnippet+`
+evil:
+    mov eax, 2
+    mov ebx, 'E'
+    int 0x80
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+`)
+	var caught []shepherd.Violation
+	cl := shepherd.New()
+	cl.OnViolation = func(v shepherd.Violation) { caught = append(caught, v) }
+	m := machine.New(machine.PentiumIV())
+	r := coreNewForShepherd(m, img, cl)
+	if err := r.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(caught) != 1 || caught[0].Kind != "indirect jump" {
+		t.Fatalf("violations = %v", caught)
+	}
+	if strings.Contains(m.OutputString(), "E") {
+		t.Error("payload ran")
+	}
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ia32"
+	"repro/internal/machine"
+)
+
+// Simulated-memory layout of the runtime's own state. Each thread owns a
+// slice of the code cache region (thread-private basic block and trace
+// caches) and a TLS block holding register spill slots, the
+// indirect-branch-lookup hashtable, and the lookup routines themselves.
+const (
+	bbCacheBase    machine.Addr = 0xC0000000
+	traceCacheBase machine.Addr = 0xC8000000
+	cacheStride    machine.Addr = 0x00200000 // 2 MiB per thread per cache
+
+	tlsBase   machine.Addr = 0xD0000000
+	tlsStride machine.Addr = 0x00020000
+
+	// TLS offsets.
+	offSpillEAX   = 0x00
+	offSpillECX   = 0x04
+	offSpillEDX   = 0x08
+	offSpillEBX   = 0x0C
+	offIBLDest    = 0x10
+	offClientTLS  = 0x14
+	offSpillSlots = 0x20 // 8 generic client spill slots (4 bytes each)
+	numSpillSlots = 8
+
+	offIBLTable  = 0x1000  // hashtable: entries of [tag u32, dest u32]
+	offIBLCode   = 0x8000  // the lookup routines
+	offLocalHeap = 0x10000 // thread-private client allocations
+)
+
+// IsRuntimeAddress reports whether a simulated address belongs to the
+// runtime's reserved regions (code caches, TLS, transparent allocations)
+// rather than to the application. Client analyses use it to know that
+// stores to such addresses cannot alias application memory.
+func IsRuntimeAddress(a machine.Addr) bool { return a >= bbCacheBase }
+
+// BranchType distinguishes the three kinds of indirect control transfer;
+// each gets its own lookup routine copy (as in DynamoRIO), giving the
+// hardware's last-target predictor a fighting chance.
+type BranchType uint8
+
+// Branch types.
+const (
+	BranchRet BranchType = iota
+	BranchJmpInd
+	BranchCallInd
+	numBranchTypes
+)
+
+// Context is the per-thread runtime context: the opaque pointer passed to
+// every client hook in the paper's Table 3 (here a concrete type, since Go
+// has no need for the opacity).
+type Context struct {
+	rio    *RIO
+	thread *machine.Thread
+
+	tls machine.Addr
+
+	// Thread-private fragment lookup (shared instance when the
+	// SharedCache ablation is on).
+	frags map[machine.Addr]*Fragment
+
+	bbBase, bbNext, bbLimit          machine.Addr
+	traceBase, traceNext, traceLimit machine.Addr
+
+	// inReplace is set while ReplaceFragment emits the new version: a
+	// thread may still be executing old cache code then, so flush-based
+	// memory reuse is disabled.
+	inReplace bool
+
+	iblEntry  [numBranchTypes]machine.Addr
+	tableBase machine.Addr
+	tableMask uint32
+
+	// Trace-head bookkeeping.
+	headCounter map[machine.Addr]int
+	isHead      map[machine.Addr]bool
+
+	// Trace selection mode state.
+	selecting   bool
+	selTags     []machine.Addr
+	selUnlinked *Fragment // fragment whose exits are temporarily unlinked
+	selSnapshot linkSnapshot
+
+	// lastExit is the exit the dispatcher was last entered through.
+	lastExit *Exit
+
+	// Deferred fragment-deleted events, delivered at the next dispatcher
+	// entry (the "safe point" of the paper's replacement scheme).
+	pendingDeleted []*Fragment
+
+	// clientTLS is the generic thread-local storage field for clients.
+	clientTLS any
+
+	// startTag is the first application target after thread creation.
+	startTag machine.Addr
+
+	// pendingSignals are intercepted signal handlers awaiting delivery at
+	// the next safe point.
+	pendingSignals []machine.Addr
+
+	// sideline holds work queued by EnqueueSideline, run at the next
+	// dispatcher entry.
+	sideline []func(*Context)
+
+	// localNext is the thread-private runtime heap bump pointer.
+	localNext machine.Addr
+}
+
+// Thread returns the simulated thread this context belongs to.
+func (c *Context) Thread() *machine.Thread { return c.thread }
+
+// RIO returns the owning runtime.
+func (c *Context) RIO() *RIO { return c.rio }
+
+// ClientTLS returns the client's thread-local storage field.
+func (c *Context) ClientTLS() any { return c.clientTLS }
+
+// SetClientTLS sets the client's thread-local storage field.
+func (c *Context) SetClientTLS(v any) { c.clientTLS = v }
+
+// TLSAddr returns the simulated address of the client-visible TLS word,
+// usable as a memory operand in inserted code.
+func (c *Context) TLSAddr() machine.Addr { return c.tls + offClientTLS }
+
+// SpillSlotAddr returns the simulated address of generic client spill slot
+// n (0-7). Inserted code can save a register there without touching
+// application memory, as the paper's API provides.
+func (c *Context) SpillSlotAddr(n int) machine.Addr {
+	if n < 0 || n >= numSpillSlots {
+		panic(fmt.Sprintf("core: spill slot %d out of range", n))
+	}
+	return c.tls + offSpillSlots + machine.Addr(n)*4
+}
+
+// SpillSlotOp returns a 32-bit memory operand addressing client spill slot
+// n.
+func (c *Context) SpillSlotOp(n int) ia32.Operand {
+	return ia32.AbsMem(c.SpillSlotAddr(n))
+}
+
+// CleanCallSpillOp returns the memory operand a clean-call sequence must
+// spill EAX to before loading the callback id; the runtime restores EAX
+// from this slot when the callback runs.
+func (c *Context) CleanCallSpillOp() ia32.Operand {
+	return ia32.AbsMem(c.tls + offSpillEAX)
+}
+
+// IndirectSpillOp returns the memory operand holding the application's ECX
+// inside the runtime's indirect-branch sequences. Client code extending
+// those sequences (Section 4.3's dispatch chains) restores ECX from it.
+func (c *Context) IndirectSpillOp() ia32.Operand {
+	return ia32.AbsMem(c.tls + offSpillECX)
+}
+
+// AllocLocal reserves n bytes of thread-private runtime memory that does
+// not interfere with the application (the paper's transparent thread-local
+// allocation) and returns its simulated address.
+func (c *Context) AllocLocal(n int) machine.Addr {
+	a := c.localNext
+	if a == 0 {
+		a = c.tls + offLocalHeap
+	}
+	next := a + machine.Addr((n+7)&^7)
+	if next > c.tls+tlsStride {
+		panic("core: thread-local runtime heap exhausted")
+	}
+	c.localNext = next
+	return a
+}
+
+// scratchAddr returns runtime-internal spill slot addresses.
+func (c *Context) spillAddr(off machine.Addr) machine.Addr { return c.tls + off }
+
+func (c *Context) spillOp(off machine.Addr) ia32.Operand {
+	return ia32.AbsMem(c.tls + off)
+}
+
+// lookup finds the fragment for an application tag, preferring the trace
+// that shadows a basic block. Fragments whose source code has been modified
+// since they were copied are discarded (and rebuilt by the caller).
+func (c *Context) lookup(tag machine.Addr) *Fragment {
+	f := c.frags[tag]
+	if f == nil {
+		return nil
+	}
+	if c.stale(f) || (f.shadowedBy != nil && c.stale(f.shadowedBy)) {
+		c.invalidateTag(tag)
+		return nil
+	}
+	if f.shadowedBy != nil {
+		return f.shadowedBy
+	}
+	return f
+}
+
+// stale reports whether any source page of f has been written since build.
+func (c *Context) stale(f *Fragment) bool {
+	for _, s := range f.spans {
+		if c.rio.M.Mem.Gen(s.page) != s.gen {
+			c.rio.Stats.StaleFragments++
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateTag discards the fragment chain registered for tag: all links
+// in and out are severed, the lookup tables forget it, and deletion events
+// are delivered at the next safe point. Cache memory is not reused (dead
+// code stays valid for any thread still inside it).
+func (c *Context) invalidateTag(tag machine.Addr) {
+	f := c.frags[tag]
+	if f == nil {
+		return
+	}
+	for cur := f; cur != nil; cur = cur.shadowedBy {
+		if cur.dead {
+			continue
+		}
+		c.rio.unlinkOutgoing(cur)
+		for e := range cur.inLinks {
+			c.rio.unlink(e)
+		}
+		cur.dead = true
+		c.pendingDeleted = append(c.pendingDeleted, cur)
+	}
+	delete(c.frags, tag)
+	c.tableRemove(tag)
+	if c.lastExit != nil && (c.lastExit.Owner == f || c.lastExit.Owner == f.shadowedBy) {
+		c.lastExit = nil
+	}
+}
+
+// InvalidateRange discards every fragment built from code overlapping
+// [start, end): the explicit cache-consistency interface for applications
+// or clients that modify code (the moral equivalent of DynamoRIO's region
+// flush). Granularity is the source page.
+func (c *Context) InvalidateRange(start, end machine.Addr) int {
+	if end <= start {
+		return 0
+	}
+	firstPage := start &^ (machine.PageSize - 1)
+	lastPage := (end - 1) &^ (machine.PageSize - 1)
+	var victims []machine.Addr
+	for tag, f := range c.frags {
+		for cur := f; cur != nil; cur = cur.shadowedBy {
+			hit := false
+			for _, s := range cur.spans {
+				if s.page >= firstPage && s.page <= lastPage {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				victims = append(victims, tag)
+				break
+			}
+		}
+	}
+	for _, tag := range victims {
+		c.invalidateTag(tag)
+	}
+	return len(victims)
+}
+
+// register installs a fragment in the lookup table and the IBL hashtable.
+func (c *Context) register(f *Fragment) {
+	if old := c.frags[f.Tag]; old != nil && f.Kind == KindTrace && old.Kind == KindBasicBlock {
+		old.shadowedBy = f
+	} else {
+		c.frags[f.Tag] = f
+	}
+	c.tableInsert(f.Tag, f.Entry)
+}
+
+// tableInsert writes a tag→cache-entry mapping into the indirect-branch
+// lookup hashtable in simulated memory.
+func (c *Context) tableInsert(tag, dest machine.Addr) {
+	if !c.rio.Opts.LinkIndirect {
+		return
+	}
+	slot := c.tableBase + machine.Addr(tag&c.tableMask)*8
+	mem := c.rio.M.Mem
+	mem.Write32(slot, tag)
+	mem.Write32(slot+4, dest)
+}
+
+// tableRemove clears the hashtable slot if it maps the given tag.
+func (c *Context) tableRemove(tag machine.Addr) {
+	if !c.rio.Opts.LinkIndirect {
+		return
+	}
+	slot := c.tableBase + machine.Addr(tag&c.tableMask)*8
+	mem := c.rio.M.Mem
+	if mem.Read32(slot) == tag {
+		mem.Write32(slot, 0)
+		mem.Write32(slot+4, 0)
+	}
+}
+
+// allocCache reserves n bytes in the basic-block or trace cache. When the
+// cache is full it is flushed wholesale and the allocation retried — safe
+// because fragment construction only happens from the dispatcher, when the
+// thread is outside the cache (a replacement in flight disables reuse; see
+// inReplace).
+func (c *Context) allocCache(kind FragmentKind, n int) machine.Addr {
+	for attempt := 0; ; attempt++ {
+		var next *machine.Addr
+		var limit machine.Addr
+		if kind == KindTrace {
+			next, limit = &c.traceNext, c.traceLimit
+		} else {
+			next, limit = &c.bbNext, c.bbLimit
+		}
+		a := *next
+		if a+machine.Addr(n) <= limit {
+			*next += machine.Addr((n + 15) &^ 15) // keep fragments 16-aligned
+			return a
+		}
+		if attempt > 0 || c.rio.Opts.SharedCache || c.inReplace {
+			panic(fmt.Sprintf("core: %s cache exhausted (thread %d, need %d bytes)",
+				kind, c.thread.ID, n))
+		}
+		c.rio.Stats.CacheFlushes++
+		c.flushForReuse()
+	}
+}
+
+// flushForReuse empties both of the thread's caches and rewinds their
+// allocators so the memory is reused. Old code may be overwritten; callers
+// guarantee the thread is not executing in the cache. The exit the
+// dispatcher was entered through belongs to flushed code and must not be
+// patched afterwards.
+func (c *Context) flushForReuse() {
+	c.FlushAll()
+	c.bbNext = c.bbBase
+	c.traceNext = c.traceBase
+	c.lastExit = nil
+}

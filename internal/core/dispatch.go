@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ia32"
+	"repro/internal/machine"
+)
+
+// onStart is the trap entered when a thread first starts under the runtime.
+func (r *RIO) onStart(t *machine.Thread) (machine.TrapAction, error) {
+	ctx := r.ctxOf(t)
+	ctx.lastExit = nil
+	return r.dispatch(ctx, ctx.startTag)
+}
+
+// onExit is the trap at the end of every exit stub: the context switch back
+// to the runtime. The stub has saved EAX to its spill slot and loaded the
+// linkstub id into EAX.
+func (r *RIO) onExit(t *machine.Thread) (machine.TrapAction, error) {
+	ctx := r.ctxOf(t)
+	id := t.CPU.Reg(ia32.EAX)
+	if id >= uint32(len(r.linkstubs)) {
+		return machine.TrapHalt, fmt.Errorf("core: bogus linkstub id %d", id)
+	}
+	e := r.linkstubs[id]
+	// Restore EAX from the stub's spill.
+	t.CPU.SetReg(ia32.EAX, r.M.Mem.Read32(ctx.spillAddr(offSpillEAX)))
+
+	var tag machine.Addr
+	if e.Kind == ExitDirect {
+		tag = e.TargetTag
+	} else {
+		// Indirect exit through the stub: ECX holds the target and the
+		// application's ECX is in the spill slot.
+		tag = t.CPU.Reg(ia32.ECX)
+		t.CPU.SetReg(ia32.ECX, r.M.Mem.Read32(ctx.spillAddr(offSpillECX)))
+	}
+	ctx.lastExit = e
+	return r.dispatch(ctx, tag)
+}
+
+// onIBLMiss is the trap at the miss path of the in-cache indirect-branch
+// lookup routine: ECX holds the target, the application ECX is spilled,
+// flags and EDX have already been restored.
+func (r *RIO) onIBLMiss(t *machine.Thread) (machine.TrapAction, error) {
+	ctx := r.ctxOf(t)
+	tag := t.CPU.Reg(ia32.ECX)
+	t.CPU.SetReg(ia32.ECX, r.M.Mem.Read32(ctx.spillAddr(offSpillECX)))
+	ctx.lastExit = nil
+	r.Stats.IBLMisses++
+	return r.dispatch(ctx, tag)
+}
+
+// onCleanCall services a clean call inserted into cache code: EAX holds the
+// callback id (application EAX is spilled) and the return address is on the
+// stack, pushed by the call instruction.
+func (r *RIO) onCleanCall(t *machine.Thread) (machine.TrapAction, error) {
+	ctx := r.ctxOf(t)
+	id := t.CPU.Reg(ia32.EAX)
+	if id >= uint32(len(r.cleanCalls)) {
+		return machine.TrapHalt, fmt.Errorf("core: bogus clean call id %d", id)
+	}
+	// Pop the continuation address.
+	sp := t.CPU.Reg(ia32.ESP)
+	ret := r.M.Mem.Read32(sp)
+	t.CPU.SetReg(ia32.ESP, sp+4)
+	// Restore EAX so the callback sees the application context.
+	t.CPU.SetReg(ia32.EAX, r.M.Mem.Read32(ctx.spillAddr(offSpillEAX)))
+
+	r.Stats.CleanCalls++
+	r.M.Charge(r.Opts.Cost.CleanCall)
+	r.cleanCalls[id](ctx)
+
+	t.CPU.EIP = ret
+	return machine.TrapContinue, nil
+}
+
+// dispatch is the runtime's central loop step (Figure 1): given the next
+// application target, find or build its fragment, maintain trace state,
+// link the exit we came from, and re-enter the code cache.
+func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (machine.TrapAction, error) {
+	r.Stats.ContextSwitches++
+	r.M.Charge(r.Opts.Cost.Dispatch)
+
+	// Safe point: deliver deferred deletion events, sideline work and
+	// signals.
+	r.deliverDeleted(ctx)
+	if len(ctx.sideline) > 0 {
+		r.runSideline(ctx)
+	}
+	if len(ctx.pendingSignals) > 0 {
+		tag = r.deliverSignal(ctx, tag)
+	}
+
+	// Restore the wiring of the fragment we single-stepped during trace
+	// selection.
+	if ctx.selUnlinked != nil {
+		r.restoreLinks(ctx.selUnlinked, ctx.selSnapshot)
+		ctx.selUnlinked = nil
+	}
+
+	if ctx.selecting {
+		if done := r.traceSelectionStep(ctx, tag); done {
+			// Trace ended (and was built); fall through to normal
+			// dispatch of tag.
+		} else {
+			// Continue selection: run tag's fragment unlinked.
+			f := ctx.lookup(tag)
+			if f == nil {
+				f = r.buildBB(ctx, tag)
+			}
+			ctx.selSnapshot = snapshotLinks(f)
+			r.unlinkOutgoing(f)
+			ctx.selUnlinked = f
+			return r.enter(ctx, f)
+		}
+	}
+
+	f := ctx.lookup(tag)
+	if f == nil {
+		f = r.buildBB(ctx, tag)
+	}
+
+	if r.Opts.EnableTraces && r.Opts.Mode == ModeCache {
+		r.noteTraceHead(ctx, tag, f)
+		if ctx.isHead[tag] && f.Kind == KindBasicBlock {
+			ctx.headCounter[tag]++
+			r.Stats.TraceHeadBumps++
+			if ctx.headCounter[tag] >= r.Opts.TraceThreshold {
+				// Hot: enter trace generation mode at this head.
+				ctx.selecting = true
+				ctx.selTags = ctx.selTags[:0]
+				ctx.selTags = append(ctx.selTags, tag)
+				ctx.selSnapshot = snapshotLinks(f)
+				r.unlinkOutgoing(f)
+				ctx.selUnlinked = f
+				delete(ctx.headCounter, tag)
+				return r.enter(ctx, f)
+			}
+		}
+	}
+
+	// Link the exit we arrived through, unless the target is a trace head
+	// (heads stay unlinked so the dispatcher can count their executions).
+	if e := ctx.lastExit; e != nil && e.Kind == ExitDirect && r.Opts.LinkDirect &&
+		!(r.Opts.EnableTraces && ctx.isHead[tag] && f.Kind == KindBasicBlock) {
+		r.link(e, f)
+	}
+
+	return r.enter(ctx, f)
+}
+
+// noteTraceHead applies the NET rule: targets of backward direct branches
+// and targets of trace exits become trace heads (plus any client-marked
+// tags, handled by MarkTraceHead).
+func (r *RIO) noteTraceHead(ctx *Context, tag machine.Addr, f *Fragment) {
+	if ctx.isHead[tag] || f.Kind == KindTrace {
+		return
+	}
+	e := ctx.lastExit
+	if e == nil {
+		return
+	}
+	if e.Kind == ExitDirect && tag <= e.Owner.Tag {
+		ctx.isHead[tag] = true // backward branch target
+	} else if e.Owner.Kind == KindTrace {
+		ctx.isHead[tag] = true // trace exit target
+	}
+}
+
+// enter re-enters the code cache at fragment f.
+func (r *RIO) enter(ctx *Context, f *Fragment) (machine.TrapAction, error) {
+	ctx.thread.CPU.EIP = f.Entry
+	ctx.lastExit = nil
+	return machine.TrapContinue, nil
+}
+
+// deliverDeleted fires deferred fragment-deleted events (the safe point of
+// the replacement scheme).
+func (r *RIO) deliverDeleted(ctx *Context) {
+	if len(ctx.pendingDeleted) == 0 {
+		return
+	}
+	dead := ctx.pendingDeleted
+	ctx.pendingDeleted = nil
+	for _, f := range dead {
+		r.Stats.FragmentsDeleted++
+		for _, cl := range r.Clients {
+			if h, ok := cl.(FragmentDeletedHook); ok {
+				h.FragmentDeleted(ctx, f.Tag)
+			}
+		}
+	}
+}
+
+// deliverSignal arranges for a queued signal handler to run now, at a safe
+// point: the interrupted application PC (the tag we were about to dispatch)
+// is pushed on the application stack and the handler becomes the dispatch
+// target — the application-transparent equivalent of the machine's default
+// delivery, but always with a coherent application context.
+func (r *RIO) deliverSignal(ctx *Context, tag machine.Addr) machine.Addr {
+	h := ctx.pendingSignals[0]
+	ctx.pendingSignals = ctx.pendingSignals[1:]
+	cpu := &ctx.thread.CPU
+	sp := cpu.Reg(ia32.ESP) - 4
+	cpu.SetReg(ia32.ESP, sp)
+	r.M.Mem.Write32(sp, tag)
+	return h
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/instr"
+	"repro/internal/machine"
+)
+
+// stubTailLen is the size of a stub's unlinked tail:
+//
+//	mov [spillEAX], eax   ; 5 bytes (A3 moffs form)
+//	mov eax, <linkstub>   ; 5 bytes
+//	jmp exitTrap          ; 5 bytes
+const stubTailLen = 15
+
+// exitInfo is the per-exit working state during emission.
+type exitInfo struct {
+	cti       *instr.Instr
+	class     uint8
+	prefix    *instr.List // stub prefix: runtime popfd and/or client stub code
+	viaStub   bool
+	stubOff   int // offset of the stub from the fragment start
+	prefixLen int
+}
+
+// isExitCTI reports whether an instruction in a mangled fragment list is a
+// fragment exit. Control transfers with intra-list targets and CTIs the
+// runtime marked internal (or that target trap addresses, e.g. clean calls)
+// stay inside the fragment.
+func isExitCTI(i *instr.Instr) bool {
+	if i.IsBundle() || !i.IsCTI() {
+		return false
+	}
+	if i.TargetInstr() != nil || i.ExitClass() == ClassInternal {
+		return false
+	}
+	if i.Opcode().IsIndirect() {
+		// Raw indirect CTIs must have been mangled away before
+		// emission.
+		panic("core: unmangled indirect CTI at emission: " + i.String())
+	}
+	if tgt, ok := i.Target(); ok && tgt >= machine.TrapBase {
+		return false // clean-call and other trap transfers
+	}
+	return true
+}
+
+// emit lays out a mangled fragment list plus its exit stubs in the code
+// cache, creates the bookkeeping records, and registers the fragment.
+func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *instr.List) *Fragment {
+	// Collect exits in list order.
+	var exits []*exitInfo
+	list.Instrs(func(i *instr.Instr) bool {
+		if !isExitCTI(i) {
+			return true
+		}
+		ei := &exitInfo{cti: i, class: i.ExitClass()}
+		if i.ExitClass()&ClassFlagsPushedBit != 0 {
+			ei.prefix = instr.NewList(instr.CreatePopfd())
+		}
+		if custom := i.ExitStub(); custom != nil {
+			if ei.prefix == nil {
+				ei.prefix = instr.NewList()
+			}
+			custom.Instrs(func(ci *instr.Instr) bool {
+				ei.prefix.Append(ci.Copy())
+				return true
+			})
+		}
+		// An exit routes through its stub even when linked only if the
+		// client asked for it or the runtime needs the stub's popfd
+		// (flags-pushed indirect exits). Plain custom stub code runs
+		// only while the exit is unlinked, per the paper's Section 3.2.
+		ei.viaStub = i.AlwaysViaStub() || i.ExitClass()&ClassFlagsPushedBit != 0
+		exits = append(exits, ei)
+		return true
+	})
+
+	bodyLen, err := list.EncodedLen()
+	if err != nil {
+		panic(fmt.Sprintf("core: sizing fragment %#x: %v", tag, err))
+	}
+
+	// Assign stub offsets after the body.
+	off := bodyLen
+	for _, ei := range exits {
+		ei.stubOff = off
+		if ei.prefix != nil {
+			n, err := ei.prefix.EncodedLen()
+			if err != nil {
+				panic(fmt.Sprintf("core: sizing stub prefix: %v", err))
+			}
+			ei.prefixLen = n
+		}
+		off += ei.prefixLen + stubTailLen
+	}
+	total := off
+
+	base := ctx.allocCache(kind, total)
+
+	f := &Fragment{
+		Tag:     tag,
+		Kind:    kind,
+		Entry:   base,
+		Size:    total,
+		BodyLen: bodyLen,
+		inLinks: map[*Exit]struct{}{},
+		ctx:     ctx,
+	}
+
+	// Wire each exit CTI's initial target and build Exit records.
+	for _, ei := range exits {
+		e := &Exit{
+			Owner:        f,
+			Index:        len(f.Exits),
+			viaStub:      ei.viaStub,
+			stubAddr:     base + machine.Addr(ei.stubOff),
+			class:        ei.class,
+			clientStub:   ei.cti.ExitStub(),
+			clientAlways: ei.cti.AlwaysViaStub(),
+			id:           uint32(len(r.linkstubs)),
+		}
+		e.stubTailAddr = e.stubAddr + machine.Addr(ei.prefixLen)
+		if bt, ind := ClassBranchType(ei.class); ind {
+			e.Kind = ExitIndirect
+			e.BranchType = bt
+		} else {
+			e.Kind = ExitDirect
+			tgt, ok := ei.cti.Target()
+			if !ok {
+				panic("core: direct exit without target: " + ei.cti.String())
+			}
+			e.TargetTag = tgt
+		}
+		r.linkstubs = append(r.linkstubs, e)
+		f.Exits = append(f.Exits, e)
+
+		// Initial CTI target: through the stub, except that
+		// non-via-stub indirect exits start wired to the lookup routine
+		// when indirect linking is on.
+		ctiTarget := e.stubAddr
+		if e.Kind == ExitIndirect && !e.viaStub && r.Opts.LinkIndirect {
+			ctiTarget = ctx.iblEntry[e.BranchType]
+			e.state = stateLinkedIBL
+		}
+		ei.cti.SetTarget(ctiTarget)
+	}
+
+	// Encode the body.
+	body, offs, err := list.EncodeWithOffsets(base)
+	if err != nil {
+		panic(fmt.Sprintf("core: encoding fragment %#x: %v", tag, err))
+	}
+	if len(body) != bodyLen {
+		panic("core: body size changed between sizing and encoding")
+	}
+	r.M.Mem.WriteBytes(base, body)
+
+	// Locate each exit CTI for future patching.
+	for n, ei := range exits {
+		e := f.Exits[n]
+		ctiOff, ok := offs[ei.cti]
+		if !ok {
+			panic("core: exit CTI not in layout")
+		}
+		e.ctiAddr = base + ctiOff
+		e.ctiLen = ei.cti.Len()
+	}
+
+	// Emit the stubs.
+	for n, ei := range exits {
+		e := f.Exits[n]
+		at := e.stubAddr
+		if ei.prefix != nil {
+			pb, err := ei.prefix.Encode(uint32(at))
+			if err != nil {
+				panic(fmt.Sprintf("core: encoding stub prefix: %v", err))
+			}
+			if len(pb) != ei.prefixLen {
+				panic("core: stub prefix size changed")
+			}
+			r.M.Mem.WriteBytes(at, pb)
+		}
+		r.writeTailUnlinked(e)
+		// Via-stub indirect exits still reach the lookup routine when
+		// indirect linking is on: their linked form is a tail jump.
+		if e.Kind == ExitIndirect && e.viaStub && r.Opts.LinkIndirect {
+			r.writeTailJmp(e, ctx.iblEntry[e.BranchType])
+			e.state = stateLinkedIBL
+		}
+	}
+
+	r.chargeShared()
+	ctx.register(f)
+	return f
+}
+
+// writeTailUnlinked writes the spill/identify/trap tail of e's stub.
+func (r *RIO) writeTailUnlinked(e *Exit) {
+	ctx := e.Owner.ctx
+	var buf [stubTailLen]byte
+	b := buf[:0]
+	b = append(b, 0xA3) // mov [spillEAX], eax
+	b = append32(b, uint32(ctx.spillAddr(offSpillEAX)))
+	b = append(b, 0xB8) // mov eax, id
+	b = append32(b, e.id)
+	b = append(b, 0xE9) // jmp exitTrap
+	rel := int32(r.exitTrap) - int32(e.stubTailAddr) - stubTailLen
+	b = append32(b, uint32(rel))
+	r.M.Mem.WriteBytes(e.stubTailAddr, b)
+}
+
+// writeTailJmp overwrites the stub tail with a direct jump to target (the
+// linked form of a via-stub exit).
+func (r *RIO) writeTailJmp(e *Exit, target machine.Addr) {
+	var buf [5]byte
+	buf[0] = 0xE9
+	rel := int32(target) - int32(e.stubTailAddr) - 5
+	buf[1], buf[2], buf[3], buf[4] = byte(rel), byte(rel>>8), byte(rel>>16), byte(rel>>24)
+	r.M.Mem.WriteBytes(e.stubTailAddr, buf[:])
+}
+
+func append32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// patchCTI repoints e's exit branch at an absolute cache address.
+func (r *RIO) patchCTI(e *Exit, target machine.Addr) {
+	rel := int32(target) - int32(e.ctiAddr) - int32(e.ctiLen)
+	r.M.Mem.Write32(e.ctiAddr+machine.Addr(e.ctiLen)-4, uint32(rel))
+}
+
+// chargeShared pays the cross-thread synchronization cost of changing a
+// shared code cache (no cost with thread-private caches).
+func (r *RIO) chargeShared() {
+	if r.Opts.SharedCache {
+		r.M.Charge(r.Opts.Cost.Sync)
+	}
+}
+
+// link wires exit e straight to fragment f, bypassing the dispatcher.
+func (r *RIO) link(e *Exit, f *Fragment) {
+	if f.dead {
+		// The target was invalidated (e.g. stale source code detected
+		// while this exit was temporarily unlinked for trace
+		// selection): leave the exit on its dispatcher path.
+		r.unlink(e)
+		return
+	}
+	if e.state == stateLinkedFrag && e.linkedTo == f {
+		return
+	}
+	r.chargeShared()
+	if e.state != stateUnlinked {
+		r.unlink(e)
+	}
+	if e.viaStub {
+		r.writeTailJmp(e, f.Entry)
+	} else {
+		r.patchCTI(e, f.Entry)
+	}
+	e.state = stateLinkedFrag
+	e.linkedTo = f
+	f.inLinks[e] = struct{}{}
+	r.Stats.Links++
+}
+
+// linkIBL wires an indirect exit to the thread's lookup routine.
+func (r *RIO) linkIBL(e *Exit) {
+	if e.state == stateLinkedIBL {
+		return
+	}
+	if e.state != stateUnlinked {
+		r.unlink(e)
+	}
+	entry := e.Owner.ctx.iblEntry[e.BranchType]
+	if e.viaStub {
+		r.writeTailJmp(e, entry)
+	} else {
+		r.patchCTI(e, entry)
+	}
+	e.state = stateLinkedIBL
+}
+
+// unlink restores exit e to its dispatcher-bound stub path.
+func (r *RIO) unlink(e *Exit) {
+	if e.state != stateUnlinked {
+		r.chargeShared()
+	}
+	switch e.state {
+	case stateUnlinked:
+		return
+	case stateLinkedFrag:
+		delete(e.linkedTo.inLinks, e)
+		e.linkedTo = nil
+	}
+	if e.viaStub {
+		r.writeTailUnlinked(e)
+	} else {
+		r.patchCTI(e, e.stubAddr)
+	}
+	e.state = stateUnlinked
+	r.Stats.Unlinks++
+}
+
+// unlinkOutgoing unlinks every exit of f, remembering nothing; callers that
+// need to restore the previous wiring should capture it first with
+// linkSnapshot.
+func (r *RIO) unlinkOutgoing(f *Fragment) {
+	for _, e := range f.Exits {
+		r.unlink(e)
+	}
+}
+
+// linkSnapshot captures the current wiring of f's exits.
+type linkSnapshot struct {
+	states  []linkState
+	targets []*Fragment
+}
+
+func snapshotLinks(f *Fragment) linkSnapshot {
+	s := linkSnapshot{
+		states:  make([]linkState, len(f.Exits)),
+		targets: make([]*Fragment, len(f.Exits)),
+	}
+	for i, e := range f.Exits {
+		s.states[i] = e.state
+		s.targets[i] = e.linkedTo
+	}
+	return s
+}
+
+// restoreLinks rewires f's exits to a previously captured snapshot.
+func (r *RIO) restoreLinks(f *Fragment, s linkSnapshot) {
+	for i, e := range f.Exits {
+		switch s.states[i] {
+		case stateLinkedFrag:
+			r.link(e, s.targets[i])
+		case stateLinkedIBL:
+			r.linkIBL(e)
+		default:
+			r.unlink(e)
+		}
+	}
+}
+
+// redirectInLinks moves every incoming link of old to point at nu.
+func (r *RIO) redirectInLinks(old, nu *Fragment) {
+	for e := range old.inLinks {
+		delete(old.inLinks, e)
+		e.linkedTo = nil
+		e.state = stateUnlinked // bookkeeping only; bytes patched next
+		if e.viaStub {
+			r.writeTailJmp(e, nu.Entry)
+		} else {
+			r.patchCTI(e, nu.Entry)
+		}
+		e.state = stateLinkedFrag
+		e.linkedTo = nu
+		nu.inLinks[e] = struct{}{}
+	}
+}

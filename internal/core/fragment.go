@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/instr"
+	"repro/internal/machine"
+)
+
+// FragmentKind distinguishes basic blocks from traces; the paper uses
+// "fragment" for either.
+type FragmentKind uint8
+
+// Fragment kinds.
+const (
+	KindBasicBlock FragmentKind = iota
+	KindTrace
+)
+
+func (k FragmentKind) String() string {
+	if k == KindTrace {
+		return "trace"
+	}
+	return "bb"
+}
+
+// ExitKind classifies a fragment exit.
+type ExitKind uint8
+
+// Exit kinds.
+const (
+	// ExitDirect is a direct branch to a known application tag,
+	// linkable to the target fragment.
+	ExitDirect ExitKind = iota
+	// ExitIndirect leaves through an indirect branch: the target
+	// application address is in the spilled-ECX convention. Linked form
+	// jumps to the in-cache indirect-branch lookup routine; unlinked
+	// form exits to the dispatcher.
+	ExitIndirect
+)
+
+// Exit-class values stored on exit CTIs in an InstrList via
+// instr.SetExitClass, telling emission how to wire each exit.
+//
+// ClassDirect exits target a known application tag. The indirect classes
+// carry the branch type (so the right lookup-routine copy is used); the
+// flags-pushed bit marks indirect exits taken from inside a trace's inline
+// target check, where the application's eflags are already pushed on the
+// stack and the stub must pop them first. ClassInternal marks CTIs the
+// runtime emitted for its own plumbing (never exits).
+const (
+	ClassDirect uint8 = 0
+
+	ClassIndirectRet  = 1 + uint8(BranchRet)
+	ClassIndirectJmp  = 1 + uint8(BranchJmpInd)
+	ClassIndirectCall = 1 + uint8(BranchCallInd)
+
+	ClassFlagsPushedBit uint8 = 0x10
+
+	ClassInternal uint8 = 0xFF
+)
+
+// ClassBranchType reports whether an exit class is indirect, and its branch
+// type.
+func ClassBranchType(c uint8) (BranchType, bool) {
+	base := c &^ ClassFlagsPushedBit
+	if c != ClassInternal && base >= 1 && base <= 3 {
+		return BranchType(base - 1), true
+	}
+	return 0, false
+}
+
+// linkState describes how an exit is currently wired.
+type linkState uint8
+
+const (
+	stateUnlinked   linkState = iota // exit goes through its stub to the dispatcher
+	stateLinkedFrag                  // exit jumps straight to a fragment
+	stateLinkedIBL                   // exit jumps to the indirect-branch lookup routine
+)
+
+// Exit is one way out of a fragment.
+type Exit struct {
+	Owner *Fragment
+	Index int
+
+	Kind       ExitKind
+	BranchType BranchType   // for indirect exits
+	TargetTag  machine.Addr // application target (ExitDirect only)
+
+	// CTI patch location: the exit branch instruction in the cache.
+	ctiAddr machine.Addr
+	ctiLen  int
+
+	// Stub location. The tail is the 15-byte spill/identify/trap sequence
+	// that is overwritten with a direct jump when a via-stub exit is
+	// linked, and restored when it is unlinked.
+	stubAddr     machine.Addr
+	stubTailAddr machine.Addr
+
+	// viaStub routes control through the stub even when linked: set for
+	// client-requested always-via-stub exits (Section 3.2) and for exits
+	// with stub prefix code (custom stub instructions or the runtime's
+	// flags-restoring popfd).
+	viaStub bool
+
+	state    linkState
+	linkedTo *Fragment // valid in stateLinkedFrag
+
+	// class is the exit-class byte the exit CTI carried at emission,
+	// kept so DecodeFragment can reconstruct it.
+	class uint8
+
+	// clientStub and clientAlways preserve client-attached custom stub
+	// code across fragment re-decoding.
+	clientStub   *instr.List
+	clientAlways bool
+
+	// id is the linkstub identifier the stub loads into EAX before
+	// trapping to the dispatcher.
+	id uint32
+}
+
+// Fragment is a basic block or trace resident in the code cache.
+type Fragment struct {
+	Tag   machine.Addr
+	Kind  FragmentKind
+	Entry machine.Addr
+	Size  int
+
+	// BodyLen is the length of the fragment body (the code before the
+	// exit stubs), needed to re-decode the fragment from the cache.
+	BodyLen int
+
+	Exits []*Exit
+
+	// inLinks are exits of other fragments currently linked to this one.
+	inLinks map[*Exit]struct{}
+
+	// shadowedBy points at the trace that replaced this basic block in
+	// the lookup tables, if any.
+	shadowedBy *Fragment
+
+	// dead marks a fragment that was replaced or flushed and awaits the
+	// deletion event at the next safe point.
+	dead bool
+
+	// spans records the application code pages this fragment was built
+	// from, with their write-generations at build time. The dispatcher
+	// validates them on lookup: a stale fragment (source code modified
+	// since it was copied) is discarded and rebuilt — the cache
+	// consistency mechanism for self-modifying code. Like the original
+	// system's, it is dispatcher-mediated: transfers that stay inside
+	// the cache (links, lookup-routine hits) do not revalidate; use
+	// Context.InvalidateRange for explicit cross-modification.
+	spans []srcSpan
+
+	ctx *Context // owning thread context
+}
+
+// srcSpan is one source page and its generation at fragment-build time.
+type srcSpan struct {
+	page machine.Addr
+	gen  uint32
+}
+
+func (f *Fragment) String() string {
+	return fmt.Sprintf("%s[tag=%#x entry=%#x size=%d exits=%d]",
+		f.Kind, f.Tag, f.Entry, f.Size, len(f.Exits))
+}
+
+// Linked reports whether exit e currently bypasses the dispatcher.
+func (e *Exit) Linked() bool { return e.state != stateUnlinked }
+
+// Target returns the fragment this exit is linked to (nil if unlinked or
+// linked to the lookup routine).
+func (e *Exit) Target() *Fragment { return e.linkedTo }

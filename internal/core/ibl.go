@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/ia32"
+	"repro/internal/instr"
+	"repro/internal/machine"
+)
+
+// emitIBLRoutines builds the thread's in-cache indirect-branch lookup
+// routines: the fast hashtable lookup of Section 2 that replaces a full
+// context switch for indirect branches. One copy per branch type (return,
+// indirect jump, indirect call), as in DynamoRIO, so each gets its own
+// last-target predictor slot.
+//
+// Calling convention (established by basic-block mangling): the application
+// value of ECX has been saved in the spill slot and ECX holds the target
+// application address; the application eflags are live and must be
+// preserved.
+//
+//	pushfd                      ; save application flags (scratch below ESP)
+//	mov   [spillEDX], edx
+//	mov   edx, ecx
+//	and   edx, mask             ; hash = target & (entries-1)
+//	cmp   ecx, [table+edx*8]    ; tag check
+//	jnz   miss
+//	mov   edx, [table+edx*8+4]  ; fragment entry address
+//	mov   [iblDest], edx
+//	mov   edx, [spillEDX]
+//	popfd
+//	mov   ecx, [spillECX]
+//	jmp   [iblDest]             ; into the fragment (indirect: BTB-predicted)
+//	miss:
+//	mov   edx, [spillEDX]
+//	popfd
+//	jmp   missTrap              ; context switch back to the dispatcher
+//
+// On a hit the application context is fully restored before the final
+// indirect jump; on a miss ECX still holds the target and the dispatcher
+// restores it from the spill slot.
+func (r *RIO) emitIBLRoutines(ctx *Context) {
+	addr := ctx.tls + offIBLCode
+	for bt := BranchType(0); bt < numBranchTypes; bt++ {
+		ctx.iblEntry[bt] = addr
+		bytes := r.buildIBL(ctx, addr)
+		r.M.Mem.WriteBytes(addr, bytes)
+		addr += machine.Addr((len(bytes) + 15) &^ 15)
+	}
+}
+
+func (r *RIO) buildIBL(ctx *Context, at machine.Addr) []byte {
+	edx := ia32.RegOp(ia32.EDX)
+	ecx := ia32.RegOp(ia32.ECX)
+	table := func(extra int32) ia32.Operand {
+		return ia32.MemOp(ia32.RegNone, ia32.EDX, 8, int32(ctx.tableBase)+extra, 4)
+	}
+
+	l := instr.NewList()
+	l.Append(instr.CreatePushfd())
+	l.Append(instr.CreateMov(ctx.spillOp(offSpillEDX), edx))
+	l.Append(instr.CreateMov(edx, ecx))
+	l.Append(instr.CreateAnd(edx, ia32.Imm32(int64(ctx.tableMask))))
+	l.Append(instr.CreateCmp(ecx, table(0)))
+	jnzMiss := l.Append(instr.CreateJcc(ia32.OpJnz, 0))
+	l.Append(instr.CreateMov(edx, table(4)))
+	l.Append(instr.CreateMov(ctx.spillOp(offIBLDest), edx))
+	l.Append(instr.CreateMov(edx, ctx.spillOp(offSpillEDX)))
+	l.Append(instr.CreatePopfd())
+	l.Append(instr.CreateMov(ecx, ctx.spillOp(offSpillECX)))
+	l.Append(instr.CreateJmpInd(ctx.spillOp(offIBLDest)))
+	miss := l.Append(instr.CreateMov(edx, ctx.spillOp(offSpillEDX)))
+	jnzMiss.SetTargetInstr(miss)
+	l.Append(instr.CreatePopfd())
+	l.Append(instr.CreateJmp(r.iblMissTrap))
+
+	// Encode at the routine's real address: the jump to the miss trap is
+	// PC-relative.
+	bytes, err := l.Encode(at)
+	if err != nil {
+		panic(err)
+	}
+	return bytes
+}

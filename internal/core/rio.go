@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ia32"
+	"repro/internal/image"
+	"repro/internal/machine"
+)
+
+// Stats counts runtime events.
+type Stats struct {
+	ContextSwitches  uint64
+	BlocksBuilt      uint64
+	TracesBuilt      uint64
+	Links            uint64
+	Unlinks          uint64
+	IBLMisses        uint64
+	CleanCalls       uint64
+	Replacements     uint64
+	FragmentsDeleted uint64
+	CacheFlushes     uint64
+	StaleFragments   uint64
+	TraceHeadBumps   uint64
+	EmulatedInstrs   uint64
+}
+
+// RIO is one instance of the runtime attached to a machine and program.
+type RIO struct {
+	M       *machine.Machine
+	Opts    Options
+	Clients []Client
+
+	Img *image.Image
+
+	Stats Stats
+
+	// Out receives client dr_printf output (transparent I/O: the runtime
+	// never touches the application's output stream).
+	Out io.Writer
+
+	contexts map[int]*Context
+
+	linkstubs []*Exit
+
+	startTrap     machine.Addr
+	exitTrap      machine.Addr
+	iblMissTrap   machine.Addr
+	cleanCallTrap machine.Addr
+
+	cleanCalls []func(*Context)
+
+	// sharedFrags backs every context's fragment map in the SharedCache
+	// ablation.
+	sharedFrags map[machine.Addr]*Fragment
+
+	// exiting guards against double exit-event delivery.
+	exited bool
+
+	// heapNext is the global transparent-allocation bump pointer.
+	heapNext machine.Addr
+}
+
+// New attaches a runtime to a machine that will run img under opts with the
+// given clients. The machine must be freshly created; New installs traps,
+// loads the image, creates the initial thread context and points the thread
+// at the dispatcher.
+func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clients ...Client) *RIO {
+	if opts.TraceThreshold <= 0 {
+		opts.TraceThreshold = 50
+	}
+	if opts.MaxTraceBlocks <= 0 {
+		opts.MaxTraceBlocks = 32
+	}
+	if opts.IBLTableBits == 0 {
+		opts.IBLTableBits = 8
+	}
+	r := &RIO{
+		M:        m,
+		Opts:     opts,
+		Clients:  clients,
+		Img:      img,
+		Out:      out,
+		contexts: map[int]*Context{},
+	}
+	if opts.SharedCache {
+		r.sharedFrags = map[machine.Addr]*Fragment{}
+	}
+
+	img.LoadInto(m.Mem)
+
+	r.startTrap = m.AllocTrap(r.onStart)
+	r.exitTrap = m.AllocTrap(r.onExit)
+	r.iblMissTrap = m.AllocTrap(r.onIBLMiss)
+	r.cleanCallTrap = m.AllocTrap(r.onCleanCall)
+
+	// Initial thread.
+	t0 := m.Threads[0]
+	t0.CPU.SetReg(ia32.ESP, img.StackTop)
+	r.setupThread(t0, img.Entry)
+
+	// Threads spawned by the program are routed through the dispatcher
+	// too, each with its own context (thread-private caches).
+	m.SetSpawnHook(func(t *machine.Thread) {
+		r.setupThread(t, t.CPU.EIP)
+	})
+
+	// Signals are intercepted: delivery is deferred to the next dispatcher
+	// entry so it always happens at a safe point with a clean application
+	// context (the queued handler runs with the application's next tag as
+	// its interrupted PC).
+	m.SetSignalInterceptor(r.interceptSignal)
+
+	for _, cl := range r.Clients {
+		if h, ok := cl.(InitHook); ok {
+			h.Init(r)
+		}
+	}
+	ctx := r.contexts[t0.ID]
+	for _, cl := range r.Clients {
+		if h, ok := cl.(ThreadInitHook); ok {
+			h.ThreadInit(ctx)
+		}
+	}
+	return r
+}
+
+// setupThread creates the context for a machine thread and points the
+// thread at the dispatcher with startTag as its first target.
+func (r *RIO) setupThread(t *machine.Thread, startTag machine.Addr) {
+	ctx := &Context{
+		rio:         r,
+		thread:      t,
+		headCounter: map[machine.Addr]int{},
+		isHead:      map[machine.Addr]bool{},
+	}
+	slot := machine.Addr(t.ID)
+	if r.Opts.SharedCache {
+		slot = 0
+		ctx.frags = r.sharedFrags
+	} else {
+		ctx.frags = map[machine.Addr]*Fragment{}
+	}
+	size := cacheStride
+	if r.Opts.CacheSize > 0 && machine.Addr(r.Opts.CacheSize) < cacheStride {
+		size = machine.Addr(r.Opts.CacheSize)
+	}
+	ctx.tls = tlsBase + machine.Addr(t.ID)*tlsStride // TLS is always private
+	ctx.bbBase = bbCacheBase + slot*cacheStride
+	ctx.bbNext = ctx.bbBase
+	ctx.bbLimit = ctx.bbBase + size
+	ctx.traceBase = traceCacheBase + slot*cacheStride
+	ctx.traceNext = ctx.traceBase
+	ctx.traceLimit = ctx.traceBase + size
+	ctx.tableBase = tlsBase + slot*tlsStride + offIBLTable
+	ctx.tableMask = 1<<r.Opts.IBLTableBits - 1
+
+	if r.Opts.Mode == ModeCache && r.Opts.LinkIndirect {
+		r.emitIBLRoutines(ctx)
+	}
+
+	r.contexts[t.ID] = ctx
+	t.Local = ctx
+
+	if r.Opts.Mode == ModeEmulate {
+		// Pure emulation: run the application code where it lies, with
+		// a per-instruction interpretation charge. (The paper's Table 1
+		// first row.)
+		t.CPU.EIP = startTag
+		return
+	}
+	// Stash the start tag; the start trap dispatches to it.
+	ctx.lastExit = nil
+	ctx.startTag = startTag
+	t.CPU.EIP = r.startTrap
+
+	if t.ID > 0 {
+		for _, cl := range r.Clients {
+			if h, ok := cl.(ThreadInitHook); ok {
+				h.ThreadInit(ctx)
+			}
+		}
+	}
+}
+
+// ContextOf returns the runtime context of a machine thread, or nil if the
+// thread is not managed by this runtime.
+func (r *RIO) ContextOf(t *machine.Thread) *Context { return r.contexts[t.ID] }
+
+// ctxOf returns the runtime context of a machine thread.
+func (r *RIO) ctxOf(t *machine.Thread) *Context {
+	ctx, ok := t.Local.(*Context)
+	if !ok {
+		panic(fmt.Sprintf("core: thread %d has no runtime context", t.ID))
+	}
+	return ctx
+}
+
+// Run executes the program to completion (or the instruction limit) and
+// fires thread-exit and exit events.
+func (r *RIO) Run(limit uint64) error {
+	if r.Opts.Mode == ModeEmulate {
+		r.M.PerInstrOverhead = r.Opts.Cost.EmulateDispatch
+	}
+	err := r.M.Run(limit)
+	r.fireExitEvents()
+	return err
+}
+
+func (r *RIO) fireExitEvents() {
+	if r.exited {
+		return
+	}
+	r.exited = true
+	for _, t := range r.M.Threads {
+		ctx := r.contexts[t.ID]
+		if ctx == nil {
+			continue
+		}
+		for _, cl := range r.Clients {
+			if h, ok := cl.(ThreadExitHook); ok {
+				h.ThreadExit(ctx)
+			}
+		}
+	}
+	for _, cl := range r.Clients {
+		if h, ok := cl.(ExitHook); ok {
+			h.Exit(r)
+		}
+	}
+}
+
+// Printf writes transparent client output (the paper's dr_printf): it goes
+// to the runtime's own stream, never the application's.
+func (r *RIO) Printf(format string, args ...any) {
+	if r.Out != nil {
+		fmt.Fprintf(r.Out, format, args...)
+	}
+}
+
+// ProcessorFamily identifies the underlying processor for
+// architecture-specific optimizations (the paper's proc_get_family).
+func (r *RIO) ProcessorFamily() machine.Family { return r.M.Profile.Family }
+
+// globalHeapBase is where AllocGlobal carves transparent runtime memory.
+const globalHeapBase machine.Addr = 0xE0000000
+
+// AllocGlobal reserves n bytes of global runtime memory that does not
+// interfere with the application (the paper's transparent global
+// allocation: a client that used the application's allocator would risk
+// corrupting it) and returns the simulated address.
+func (r *RIO) AllocGlobal(n int) machine.Addr {
+	if r.heapNext == 0 {
+		r.heapNext = globalHeapBase
+	}
+	a := r.heapNext
+	r.heapNext += machine.Addr((n + 7) &^ 7)
+	if r.heapNext > globalHeapBase+0x01000000 {
+		panic("core: global runtime heap exhausted")
+	}
+	return a
+}
+
+// RegisterCleanCall registers fn for insertion into cache code; the
+// returned id is used by InsertCleanCall. Callbacks run with the machine
+// paused at the call site; they may inspect and modify machine state and
+// use the adaptive replacement interface.
+func (r *RIO) RegisterCleanCall(fn func(*Context)) uint32 {
+	r.cleanCalls = append(r.cleanCalls, fn)
+	return uint32(len(r.cleanCalls) - 1)
+}
+
+// CleanCallTrap returns the trap address clean calls are routed through.
+func (r *RIO) CleanCallTrap() machine.Addr { return r.cleanCallTrap }
+
+// interceptSignal queues the handler to be dispatched at the next safe
+// point: the thread's next entry to the dispatcher.
+func (r *RIO) interceptSignal(t *machine.Thread, handler machine.Addr) bool {
+	if r.Opts.Mode == ModeEmulate {
+		return false // default delivery is fine under emulation
+	}
+	ctx := r.ctxOf(t)
+	ctx.pendingSignals = append(ctx.pendingSignals, handler)
+	return true
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Figure5Row is one benchmark's group of bars in the paper's Figure 5:
+// normalized execution time (ratio to native, smaller is better) for the
+// base system and each optimization configuration.
+type Figure5Row struct {
+	Benchmark  string
+	Class      workload.Class
+	Normalized [NumOptConfigs]float64
+}
+
+// Figure5 reproduces the paper's Figure 5 for the whole suite. With bench
+// set to a non-empty list, only those benchmarks run (useful for quick
+// checks).
+func Figure5(names ...string) []Figure5Row {
+	var benches []*workload.Benchmark
+	if len(names) == 0 {
+		benches = workload.All()
+	} else {
+		for _, n := range names {
+			b := workload.ByName(n)
+			if b == nil {
+				panic("harness: unknown benchmark " + n)
+			}
+			benches = append(benches, b)
+		}
+	}
+	rows := make([]Figure5Row, len(benches))
+	for i, b := range benches {
+		rows[i] = Figure5Row{Benchmark: b.Name, Class: b.Class}
+		for c := ConfigBase; c < NumOptConfigs; c++ {
+			res := RunConfig(b, core.Default(), ClientsFor(c)...)
+			rows[i].Normalized[c] = res.Normalized
+		}
+	}
+	return rows
+}
+
+// Figure5Means aggregates rows the way the paper reports: geometric means of
+// normalized time for the FP benchmarks, the INT benchmarks, and all
+// combined, per configuration.
+type Figure5Means struct {
+	FP, Int, All [NumOptConfigs]float64
+}
+
+// Means computes the aggregate lines from a full set of rows.
+func Means(rows []Figure5Row) Figure5Means {
+	var m Figure5Means
+	for c := ConfigBase; c < NumOptConfigs; c++ {
+		var fp, in, all []float64
+		for _, r := range rows {
+			all = append(all, r.Normalized[c])
+			if r.Class == workload.ClassFP {
+				fp = append(fp, r.Normalized[c])
+			} else {
+				in = append(in, r.Normalized[c])
+			}
+		}
+		m.FP[c] = GeoMean(fp)
+		m.Int[c] = GeoMean(in)
+		m.All[c] = GeoMean(all)
+	}
+	return m
+}
+
+// FormatFigure5 renders the rows plus mean lines in a table layout (the
+// paper draws bars; the series are identical).
+func FormatFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: normalized execution time (ratio to native; smaller is better)\n")
+	fmt.Fprintf(&b, "%-10s %-4s", "benchmark", "cls")
+	for c := ConfigBase; c < NumOptConfigs; c++ {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-4s", r.Benchmark, r.Class)
+		for c := ConfigBase; c < NumOptConfigs; c++ {
+			fmt.Fprintf(&b, " %10.3f", r.Normalized[c])
+		}
+		b.WriteByte('\n')
+	}
+	if len(rows) > 2 {
+		m := Means(rows)
+		line := func(name string, v [NumOptConfigs]float64) {
+			fmt.Fprintf(&b, "%-10s %-4s", name, "")
+			for c := ConfigBase; c < NumOptConfigs; c++ {
+				fmt.Fprintf(&b, " %10.3f", v[c])
+			}
+			b.WriteByte('\n')
+		}
+		line("mean-fp", m.FP)
+		line("mean-int", m.Int)
+		line("mean-all", m.All)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+// Package harness runs the paper's experiments: the Table 1 feature ladder,
+// the Table 2 level-of-detail measurements, and the Figure 5 optimization
+// sweep, over the synthetic SPEC2000 suite. Each public function returns
+// structured rows (for tests and benchmarks) and can render itself in the
+// layout of the paper (for cmd/drbench).
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/clients/ctrace"
+	"repro/internal/clients/ibdispatch"
+	"repro/internal/clients/inc2add"
+	"repro/internal/clients/rlr"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// runLimit bounds any single simulated run.
+const runLimit = 600_000_000
+
+// NativeResult is a baseline run of a benchmark.
+type NativeResult struct {
+	Ticks  machine.Ticks
+	Output []byte
+	Stats  machine.Stats
+}
+
+var nativeCache = map[string]*NativeResult{}
+
+// RunNative executes the benchmark directly on the machine (no runtime),
+// caching the result.
+func RunNative(b *workload.Benchmark) *NativeResult {
+	if r, ok := nativeCache[b.Name]; ok {
+		return r
+	}
+	m := machine.New(machine.PentiumIV())
+	b.Image().Boot(m)
+	if err := m.Run(runLimit); err != nil {
+		panic(fmt.Sprintf("harness: native %s: %v", b.Name, err))
+	}
+	r := &NativeResult{Ticks: m.Ticks, Output: m.Output, Stats: m.Stats}
+	nativeCache[b.Name] = r
+	return r
+}
+
+// ConfigResult is one benchmark run under the runtime.
+type ConfigResult struct {
+	Ticks      machine.Ticks
+	Normalized float64 // ticks / native ticks: the paper's y-axis
+	Output     []byte
+	RIOStats   core.Stats
+	Machine    machine.Stats
+}
+
+// RunConfig executes the benchmark under the runtime with the given options
+// and clients, verifying transparency against the native run.
+func RunConfig(b *workload.Benchmark, opts core.Options, clients ...core.Client) *ConfigResult {
+	native := RunNative(b)
+	m := machine.New(machine.PentiumIV())
+	r := core.New(m, b.Image(), opts, nil, clients...)
+	if err := r.Run(runLimit); err != nil {
+		panic(fmt.Sprintf("harness: %s under %+v: %v", b.Name, opts.Mode, err))
+	}
+	if !bytes.Equal(m.Output, native.Output) {
+		panic(fmt.Sprintf("harness: %s: transparency violated: output %q != native %q",
+			b.Name, m.Output, native.Output))
+	}
+	return &ConfigResult{
+		Ticks:      m.Ticks,
+		Normalized: float64(m.Ticks) / float64(native.Ticks),
+		Output:     m.Output,
+		RIOStats:   r.Stats,
+		Machine:    m.Stats,
+	}
+}
+
+// OptConfig names one bar group of Figure 5.
+type OptConfig int
+
+// Figure 5 configurations, in the paper's order.
+const (
+	ConfigBase OptConfig = iota
+	ConfigRLR
+	ConfigInc2Add
+	ConfigIBDispatch
+	ConfigCTrace
+	ConfigAll
+	NumOptConfigs
+)
+
+var optConfigNames = [NumOptConfigs]string{
+	"base", "rlr", "inc2add", "ibdispatch", "ctrace", "all",
+}
+
+func (c OptConfig) String() string { return optConfigNames[c] }
+
+// ClientsFor builds fresh client instances for a Figure 5 configuration
+// (clients hold per-run state and must never be shared between runs).
+func ClientsFor(c OptConfig) []core.Client {
+	switch c {
+	case ConfigRLR:
+		return []core.Client{rlr.New()}
+	case ConfigInc2Add:
+		return []core.Client{inc2add.New()}
+	case ConfigIBDispatch:
+		return []core.Client{ibdispatch.New()}
+	case ConfigCTrace:
+		return []core.Client{ctrace.New()}
+	case ConfigAll:
+		return []core.Client{rlr.New(), inc2add.New(), ibdispatch.New(), ctrace.New()}
+	default:
+		return nil
+	}
+}
+
+// GeoMean returns the geometric mean of xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Table1Row is one system-type row of the paper's Table 1: normalized
+// execution time (ratio to native) on crafty and vpr.
+type Table1Row struct {
+	System string
+	Crafty float64
+	Vpr    float64
+}
+
+// table1Systems names the ladder rows exactly as the paper does.
+var table1Systems = []string{
+	"Emulation",
+	"+ Basic block cache",
+	"+ Link direct branches",
+	"+ Link indirect branches",
+	"+ Traces",
+}
+
+// Table1 reproduces the paper's Table 1: the performance achieved as each
+// feature is added to a basic interpreter, measured on crafty and vpr.
+func Table1() []Table1Row {
+	crafty := workload.ByName("crafty")
+	vpr := workload.ByName("vpr")
+	ladder := core.TableOneLadder()
+	rows := make([]Table1Row, len(ladder))
+	for i, opts := range ladder {
+		rows[i] = Table1Row{
+			System: table1Systems[i],
+			Crafty: RunConfig(crafty, opts).Normalized,
+			Vpr:    RunConfig(vpr, opts).Normalized,
+		}
+	}
+	return rows
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: normalized execution time (ratio to native)\n")
+	fmt.Fprintf(&b, "%-26s %10s %10s\n", "System Type", "crafty", "vpr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %10.1f %10.1f\n", r.System, r.Crafty, r.Vpr)
+	}
+	return b.String()
+}

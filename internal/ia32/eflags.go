@@ -1,0 +1,148 @@
+package ia32
+
+import "strings"
+
+// Machine eflags register bit positions (the architectural layout).
+const (
+	FlagCF uint32 = 1 << 0  // carry
+	FlagPF uint32 = 1 << 2  // parity
+	FlagAF uint32 = 1 << 4  // auxiliary carry
+	FlagZF uint32 = 1 << 6  // zero
+	FlagSF uint32 = 1 << 7  // sign
+	FlagOF uint32 = 1 << 11 // overflow
+
+	// FlagsAll is the mask of all six arithmetic flags tracked by the
+	// system.
+	FlagsAll = FlagCF | FlagPF | FlagAF | FlagZF | FlagSF | FlagOF
+)
+
+// Eflags describes an instruction's interaction with the six arithmetic
+// flags as a compact bit set: the low six bits record reads, the next six
+// record writes. This is the Level-2 information that makes it quick to
+// decide whether the flags must be preserved around inserted code, which the
+// paper calls out as an important factor in any IA-32 code transformation.
+type Eflags uint16
+
+// Read bits.
+const (
+	EflagsReadCF Eflags = 1 << iota
+	EflagsReadPF
+	EflagsReadAF
+	EflagsReadZF
+	EflagsReadSF
+	EflagsReadOF
+	// Write bits.
+	EflagsWriteCF
+	EflagsWritePF
+	EflagsWriteAF
+	EflagsWriteZF
+	EflagsWriteSF
+	EflagsWriteOF
+)
+
+// EflagsReadAll and EflagsWriteAll are the masks of all read and all write
+// bits respectively.
+const (
+	EflagsReadAll  = EflagsReadCF | EflagsReadPF | EflagsReadAF | EflagsReadZF | EflagsReadSF | EflagsReadOF
+	EflagsWriteAll = EflagsWriteCF | EflagsWritePF | EflagsWriteAF | EflagsWriteZF | EflagsWriteSF | EflagsWriteOF
+
+	// EflagsWrite6 is the canonical "writes all six flags" effect of most
+	// arithmetic instructions.
+	EflagsWrite6 = EflagsWriteAll
+)
+
+// Reads reports whether the effect includes reading any flag.
+func (e Eflags) Reads() bool { return e&EflagsReadAll != 0 }
+
+// Writes reports whether the effect includes writing any flag.
+func (e Eflags) Writes() bool { return e&EflagsWriteAll != 0 }
+
+// ReadSet returns just the read bits of e.
+func (e Eflags) ReadSet() Eflags { return e & EflagsReadAll }
+
+// WriteSet returns just the write bits of e.
+func (e Eflags) WriteSet() Eflags { return e & EflagsWriteAll }
+
+// WritesToReads converts the write bits of e into the corresponding read
+// bits. It is useful for liveness-style analyses: an instruction that writes
+// CF "kills" a pending read of CF.
+func (e Eflags) WritesToReads() Eflags { return (e & EflagsWriteAll) >> 6 }
+
+// ArchMask converts the read (or write, per the masks given) portion of e to
+// an architectural eflags-register bit mask.
+func (e Eflags) ArchMask() uint32 {
+	var m uint32
+	bits := e | e>>6 // merge reads and writes
+	if bits&EflagsReadCF != 0 {
+		m |= FlagCF
+	}
+	if bits&EflagsReadPF != 0 {
+		m |= FlagPF
+	}
+	if bits&EflagsReadAF != 0 {
+		m |= FlagAF
+	}
+	if bits&EflagsReadZF != 0 {
+		m |= FlagZF
+	}
+	if bits&EflagsReadSF != 0 {
+		m |= FlagSF
+	}
+	if bits&EflagsReadOF != 0 {
+		m |= FlagOF
+	}
+	return m
+}
+
+// String renders the effect in the compact style of the paper's Figure 2:
+// an 'R' section listing read flags and a 'W' section listing written flags,
+// e.g. "WCPAZSO" for an instruction writing all six, "RSO" for one reading
+// SF and OF, or "-" for no effect.
+func (e Eflags) String() string {
+	if e == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	letter := [6]byte{'C', 'P', 'A', 'Z', 'S', 'O'}
+	if e.Reads() {
+		b.WriteByte('R')
+		for i := 0; i < 6; i++ {
+			if e&(EflagsReadCF<<uint(i)) != 0 {
+				b.WriteByte(letter[i])
+			}
+		}
+	}
+	if e.Writes() {
+		b.WriteByte('W')
+		for i := 0; i < 6; i++ {
+			if e&(EflagsWriteCF<<uint(i)) != 0 {
+				b.WriteByte(letter[i])
+			}
+		}
+	}
+	return b.String()
+}
+
+// condEflagsRead returns the flags read by a conditional with the given
+// IA-32 condition code (0-15).
+func condEflagsRead(cc uint8) Eflags {
+	switch cc &^ 1 { // condition and its negation read the same flags
+	case 0x0: // O / NO
+		return EflagsReadOF
+	case 0x2: // B / NB
+		return EflagsReadCF
+	case 0x4: // Z / NZ
+		return EflagsReadZF
+	case 0x6: // BE / NBE
+		return EflagsReadCF | EflagsReadZF
+	case 0x8: // S / NS
+		return EflagsReadSF
+	case 0xa: // P / NP
+		return EflagsReadPF
+	case 0xc: // L / NL
+		return EflagsReadSF | EflagsReadOF
+	case 0xe: // LE / NLE
+		return EflagsReadZF | EflagsReadSF | EflagsReadOF
+	}
+	return 0
+}

@@ -1,0 +1,305 @@
+package ia32
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoEncoding is returned when no template of the opcode matches the
+// instruction's operands.
+var ErrNoEncoding = errors.New("ia32: no matching encoding template")
+
+// Encode appends the machine encoding of in, assuming the instruction will
+// be placed at absolute address pc (required for PC-relative branches), and
+// returns the extended buffer.
+//
+// If the instruction carries the template it was decoded from or created
+// with, that template is tried first; otherwise — and whenever the operands
+// no longer fit it — the encoder walks every template for the opcode looking
+// for a match, the expensive search the paper describes for Level 4.
+func Encode(in *Inst, pc uint32, buf []byte) ([]byte, error) {
+	if in.Tmpl != nil && in.Tmpl.Op == in.Op && matchTemplate(in.Tmpl, in) {
+		return emit(in.Tmpl, in, pc, buf)
+	}
+	for _, tm := range opcodeTemplates[in.Op] {
+		if tm.DecodeOnly {
+			continue
+		}
+		if matchTemplate(tm, in) {
+			return emit(tm, in, pc, buf)
+		}
+	}
+	return buf, fmt.Errorf("%w for %s", ErrNoEncoding, in.Op)
+}
+
+// EncodedLen returns the length in bytes Encode would produce, without
+// allocating.
+func EncodedLen(in *Inst) (int, error) {
+	var scratch [16]byte
+	out, err := Encode(in, 0, scratch[:0])
+	return len(out), err
+}
+
+// MustEncode is Encode for known-good instructions; it panics on failure.
+// It is intended for tests and for emitting runtime-internal code sequences
+// that are correct by construction.
+func MustEncode(in *Inst, pc uint32, buf []byte) []byte {
+	out, err := Encode(in, pc, buf)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// matchTemplate reports whether in's operand lists fit template tm.
+func matchTemplate(tm *Template, in *Inst) bool {
+	if len(tm.Dsts) != len(in.Dsts) || len(tm.Srcs) != len(in.Srcs) {
+		return false
+	}
+	for i, sp := range tm.Dsts {
+		if !matchSpec(sp, in.Dsts[i], in.Dsts) {
+			return false
+		}
+	}
+	for i, sp := range tm.Srcs {
+		if !matchSpec(sp, in.Srcs[i], in.Dsts) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchSpec(sp Spec, o Operand, dsts []Operand) bool {
+	switch sp.Kind {
+	case specRM:
+		if o.Kind == OperandReg {
+			return o.Reg.Size() == sp.Size
+		}
+		return o.Kind == OperandMem && o.Size == sp.Size && memEncodable(o)
+	case specM:
+		return o.Kind == OperandMem && memEncodable(o)
+	case specR, specRPlus:
+		return o.Kind == OperandReg && o.Reg.Size() == sp.Size
+	case specImm:
+		return o.Kind == OperandImm && o.Size == sp.Size && immFits(o.Imm, sp.Size)
+	case specImm1:
+		return o.Kind == OperandImm && o.Imm == 1
+	case specRel:
+		return o.Kind == OperandPC && sp.Size == 4
+	case specMoffs:
+		return o.Kind == OperandMem && o.Base == RegNone && o.Index == RegNone && o.Size == sp.Size
+	case specFixedReg:
+		return o.IsReg(sp.Reg)
+	case specStackPush, specStackPop:
+		return o.Kind == OperandMem && o.Base == ESP
+	case specTiedDst:
+		return int(sp.Tie) < len(dsts) && o.Equal(dsts[sp.Tie])
+	}
+	return false
+}
+
+func immFits(v int64, size uint8) bool {
+	switch size {
+	case 1:
+		return v >= -128 && v <= 127
+	case 2:
+		return v >= -32768 && v <= 65535
+	default:
+		return v >= -(1<<31) && v < 1<<32
+	}
+}
+
+// memEncodable reports whether the memory operand can be expressed with
+// ModRM/SIB addressing: ESP cannot be an index, and the scale must be a
+// power of two at most 8.
+func memEncodable(o Operand) bool {
+	if o.Index == ESP {
+		return false
+	}
+	if o.Index != RegNone {
+		switch o.Scale {
+		case 1, 2, 4, 8:
+		default:
+			return false
+		}
+		if !o.Index.Is32() {
+			return false
+		}
+	}
+	return o.Base == RegNone || o.Base.Is32()
+}
+
+// emit produces the bytes for in according to template tm.
+func emit(tm *Template, in *Inst, pc uint32, buf []byte) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, prefixBytes(in.Prefixes)...)
+
+	// Opcode bytes, with the register folded into the last byte for
+	// PlusReg forms.
+	opc := tm.Opc
+	if tm.PlusReg {
+		r, ok := findSpecOperand(tm, in, specRPlus)
+		if !ok {
+			return buf, fmt.Errorf("ia32: %s: plus-reg template without register operand", in.Op)
+		}
+		buf = append(buf, opc[:len(opc)-1]...)
+		buf = append(buf, opc[len(opc)-1]|r.Reg.Enc())
+	} else {
+		buf = append(buf, opc...)
+	}
+
+	if tm.ModRM {
+		regField := uint8(0)
+		if tm.Ext >= 0 {
+			regField = uint8(tm.Ext)
+		} else if r, ok := findSpecOperand(tm, in, specR); ok {
+			regField = r.Reg.Enc()
+		}
+		rmOp, ok := findSpecOperand(tm, in, specRM)
+		if !ok {
+			rmOp, ok = findSpecOperand(tm, in, specM)
+		}
+		if !ok {
+			return buf, fmt.Errorf("ia32: %s: ModRM template without r/m operand", in.Op)
+		}
+		var err error
+		buf, err = emitModRM(buf, regField, rmOp)
+		if err != nil {
+			return buf, err
+		}
+	}
+
+	// Immediates, relative displacements and moffs, in spec order.
+	relOff := -1
+	for _, pair := range [2]struct {
+		specs []Spec
+		ops   []Operand
+	}{{tm.Dsts, in.Dsts}, {tm.Srcs, in.Srcs}} {
+		for i, sp := range pair.specs {
+			o := pair.ops[i]
+			switch sp.Kind {
+			case specImm:
+				buf = appendImm(buf, o.Imm, sp.Size)
+			case specRel:
+				relOff = len(buf)
+				buf = appendImm(buf, 0, sp.Size)
+			case specMoffs:
+				buf = appendImm(buf, int64(o.Disp), 4)
+			}
+		}
+	}
+
+	// Patch the relative displacement now that the total length is known.
+	if relOff >= 0 {
+		target, _ := findSpecTarget(tm, in)
+		length := len(buf) - start
+		rel := int32(target) - int32(pc) - int32(length)
+		buf[relOff] = byte(rel)
+		buf[relOff+1] = byte(rel >> 8)
+		buf[relOff+2] = byte(rel >> 16)
+		buf[relOff+3] = byte(rel >> 24)
+	}
+	return buf, nil
+}
+
+// findSpecOperand returns the operand occupying the first slot of the given
+// spec kind.
+func findSpecOperand(tm *Template, in *Inst, kind SpecKind) (Operand, bool) {
+	for i, sp := range tm.Dsts {
+		if sp.Kind == kind {
+			return in.Dsts[i], true
+		}
+	}
+	for i, sp := range tm.Srcs {
+		if sp.Kind == kind {
+			return in.Srcs[i], true
+		}
+	}
+	return Operand{}, false
+}
+
+func findSpecTarget(tm *Template, in *Inst) (uint32, bool) {
+	o, ok := findSpecOperand(tm, in, specRel)
+	return o.PC, ok
+}
+
+func appendImm(buf []byte, v int64, size uint8) []byte {
+	switch size {
+	case 1:
+		return append(buf, byte(v))
+	case 2:
+		return append(buf, byte(v), byte(v>>8))
+	default:
+		return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+}
+
+// emitModRM encodes the ModRM byte and any SIB/displacement bytes for o with
+// the given reg field.
+func emitModRM(buf []byte, regField uint8, o Operand) ([]byte, error) {
+	if o.Kind == OperandReg {
+		return append(buf, 0xC0|regField<<3|o.Reg.Enc()), nil
+	}
+	if o.Kind != OperandMem {
+		return buf, fmt.Errorf("ia32: r/m operand is %v", o.Kind)
+	}
+
+	// Absolute address: mod=00 rm=101 disp32.
+	if o.Base == RegNone && o.Index == RegNone {
+		buf = append(buf, regField<<3|5)
+		return appendImm(buf, int64(o.Disp), 4), nil
+	}
+
+	needSIB := o.Index != RegNone || o.Base == ESP || o.Base == RegNone
+	// Choose the displacement form. [EBP] and SIB-with-EBP-base require at
+	// least a disp8 even when the displacement is zero.
+	mod := uint8(0)
+	dispSize := uint8(0)
+	switch {
+	case o.Base == RegNone:
+		// SIB with no base: mod=00, base=101, disp32.
+		mod, dispSize = 0, 4
+	case o.Disp == 0 && o.Base != EBP:
+		mod, dispSize = 0, 0
+	case o.Disp >= -128 && o.Disp <= 127:
+		mod, dispSize = 1, 1
+	default:
+		mod, dispSize = 2, 4
+	}
+
+	if needSIB {
+		buf = append(buf, mod<<6|regField<<3|4)
+		scaleBits := uint8(0)
+		idxBits := uint8(4) // none
+		if o.Index != RegNone {
+			idxBits = o.Index.Enc()
+			switch o.Scale {
+			case 1:
+				scaleBits = 0
+			case 2:
+				scaleBits = 1
+			case 4:
+				scaleBits = 2
+			case 8:
+				scaleBits = 3
+			default:
+				return buf, fmt.Errorf("ia32: bad scale %d", o.Scale)
+			}
+		}
+		baseBits := uint8(5)
+		if o.Base != RegNone {
+			baseBits = o.Base.Enc()
+		}
+		buf = append(buf, scaleBits<<6|idxBits<<3|baseBits)
+	} else {
+		buf = append(buf, mod<<6|regField<<3|o.Base.Enc())
+	}
+
+	switch dispSize {
+	case 1:
+		buf = append(buf, byte(o.Disp))
+	case 4:
+		buf = appendImm(buf, int64(o.Disp), 4)
+	}
+	return buf, nil
+}

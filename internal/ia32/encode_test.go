@@ -1,0 +1,339 @@
+package ia32
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeRoundTripFigure2(t *testing.T) {
+	// Decoding and re-encoding the paper's Figure 2 block must reproduce
+	// the original bytes exactly (Level 3's "copy raw bits" guarantee is
+	// checked elsewhere; this checks the full operand-driven encoder).
+	const pc = 0x77f51234
+	off := 0
+	var out []byte
+	for off < len(fig2Bytes) {
+		in, err := Decode(fig2Bytes[off:], pc+uint32(off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err = Encode(&in, pc+uint32(off), out)
+		if err != nil {
+			t.Fatalf("%s: %v", &in, err)
+		}
+		off += int(in.Len)
+	}
+	if !bytes.Equal(out, fig2Bytes) {
+		t.Errorf("re-encode mismatch:\n got % x\nwant % x", out, fig2Bytes)
+	}
+}
+
+// genInst builds a random valid instruction using the creation paths the
+// encoder supports.
+func genInst(r *rand.Rand) Inst {
+	regs := []Reg{EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI}
+	anyReg := func() Reg { return regs[r.Intn(len(regs))] }
+	idxReg := func() Reg { // ESP cannot index
+		for {
+			if rg := anyReg(); rg != ESP {
+				return rg
+			}
+		}
+	}
+	anyMem := func(size uint8) Operand {
+		switch r.Intn(4) {
+		case 0:
+			return MemOp(anyReg(), RegNone, 0, int32(r.Intn(512)-256), size)
+		case 1:
+			return MemOp(anyReg(), idxReg(), []uint8{1, 2, 4, 8}[r.Intn(4)], int32(r.Intn(1<<16)-1<<15), size)
+		case 2:
+			return MemOp(RegNone, RegNone, 0, int32(r.Uint32()>>4), size)
+		default:
+			return MemOp(RegNone, idxReg(), []uint8{1, 2, 4, 8}[r.Intn(4)], int32(r.Intn(4096)), size)
+		}
+	}
+	rm := func(size uint8) Operand {
+		if r.Intn(2) == 0 {
+			return RegOp(RegBySize(uint8(r.Intn(8)), size))
+		}
+		return anyMem(size)
+	}
+
+	arithOps := []Opcode{OpAdd, OpAdc, OpSub, OpSbb, OpAnd, OpOr, OpXor}
+	switch r.Intn(10) {
+	case 0: // arith rm32, r32
+		op := arithOps[r.Intn(len(arithOps))]
+		dst := rm(4)
+		return Inst{Op: op, Dsts: []Operand{dst}, Srcs: []Operand{RegOp(anyReg()), dst}}
+	case 1: // arith r32, rm32
+		op := arithOps[r.Intn(len(arithOps))]
+		dst := RegOp(anyReg())
+		return Inst{Op: op, Dsts: []Operand{dst}, Srcs: []Operand{rm(4), dst}}
+	case 2: // arith rm32, imm
+		op := arithOps[r.Intn(len(arithOps))]
+		dst := rm(4)
+		var im Operand
+		if r.Intn(2) == 0 {
+			im = Imm8(int64(r.Intn(256) - 128))
+		} else {
+			im = Imm32(int64(int32(r.Uint32())))
+		}
+		return Inst{Op: op, Dsts: []Operand{dst}, Srcs: []Operand{im, dst}}
+	case 3: // mov forms
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: OpMov, Dsts: []Operand{rm(4)}, Srcs: []Operand{RegOp(anyReg())}}
+		case 1:
+			return Inst{Op: OpMov, Dsts: []Operand{RegOp(anyReg())}, Srcs: []Operand{rm(4)}}
+		default:
+			return Inst{Op: OpMov, Dsts: []Operand{RegOp(anyReg())}, Srcs: []Operand{Imm32(int64(int32(r.Uint32())))}}
+		}
+	case 4: // lea
+		return Inst{Op: OpLea, Dsts: []Operand{RegOp(anyReg())}, Srcs: []Operand{anyMem(4)}}
+	case 5: // push/pop reg
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpPush,
+				Dsts: []Operand{MemOp(ESP, RegNone, 0, -4, 4), RegOp(ESP)},
+				Srcs: []Operand{RegOp(anyReg()), RegOp(ESP)}}
+		}
+		return Inst{Op: OpPop,
+			Dsts: []Operand{RegOp(anyReg()), RegOp(ESP)},
+			Srcs: []Operand{MemOp(ESP, RegNone, 0, 0, 4), RegOp(ESP)}}
+	case 6: // shifts by imm8
+		op := []Opcode{OpShl, OpShr, OpSar}[r.Intn(3)]
+		dst := rm(4)
+		return Inst{Op: op, Dsts: []Operand{dst}, Srcs: []Operand{Imm8(int64(r.Intn(31))), dst}}
+	case 7: // inc/dec/neg/not
+		op := []Opcode{OpInc, OpDec, OpNeg, OpNot}[r.Intn(4)]
+		dst := rm(4)
+		return Inst{Op: op, Dsts: []Operand{dst}, Srcs: []Operand{dst}}
+	case 8: // cmp/test
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpCmp, Srcs: []Operand{rm(4), RegOp(anyReg())}}
+		}
+		return Inst{Op: OpTest, Srcs: []Operand{rm(4), RegOp(anyReg())}}
+	default: // movzx/movsx
+		op := []Opcode{OpMovzx, OpMovsx}[r.Intn(2)]
+		size := []uint8{1, 2}[r.Intn(2)]
+		src := anyMem(size)
+		if r.Intn(2) == 0 && size == 1 {
+			src = RegOp(Reg8(uint8(r.Intn(8))))
+		} else if r.Intn(2) == 0 {
+			src = RegOp(Reg16(uint8(r.Intn(8))))
+		}
+		src.Size = size
+		if src.Kind == OperandReg {
+			src = RegOp(RegBySize(src.Reg.Enc(), size))
+		}
+		return Inst{Op: op, Dsts: []Operand{RegOp(anyReg())}, Srcs: []Operand{src}}
+	}
+}
+
+// TestEncodeDecodeProperty checks encode→decode is the identity on operand
+// lists for randomly generated instructions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	check := func() bool {
+		in := genInst(r)
+		const pc = 0x08048000
+		buf, err := Encode(&in, pc, nil)
+		if err != nil {
+			t.Logf("encode %s: %v", &in, err)
+			return false
+		}
+		back, err := Decode(buf, pc)
+		if err != nil {
+			t.Logf("decode % x (%s): %v", buf, &in, err)
+			return false
+		}
+		if back.Op != in.Op {
+			t.Logf("opcode changed: %s -> %s", in.Op, back.Op)
+			return false
+		}
+		if int(back.Len) != len(buf) {
+			t.Logf("length mismatch: %d vs %d", back.Len, len(buf))
+			return false
+		}
+		if len(back.Dsts) != len(in.Dsts) || len(back.Srcs) != len(in.Srcs) {
+			t.Logf("operand counts changed for %s: got %s", &in, &back)
+			return false
+		}
+		for i := range in.Dsts {
+			if !back.Dsts[i].Equal(in.Dsts[i]) {
+				t.Logf("dst %d changed: %v -> %v (%s)", i, in.Dsts[i], back.Dsts[i], &in)
+				return false
+			}
+		}
+		for i := range in.Srcs {
+			if !back.Srcs[i].Equal(in.Srcs[i]) {
+				t.Logf("src %d changed: %v -> %v (%s)", i, in.Srcs[i], back.Srcs[i], &in)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeEncodeIdempotent checks that decoding arbitrary generated bytes
+// and re-encoding reproduces the same instruction (decode→encode→decode
+// fixed point), exercising the decoder's template fidelity.
+func TestDecodeEncodeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		in := genInst(r)
+		const pc = 0x1000
+		buf := MustEncode(&in, pc, nil)
+		d1, err := Decode(buf, pc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		buf2, err := Encode(&d1, pc, nil)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", &d1, err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("not idempotent for %s:\n first  % x\n second % x", &in, buf, buf2)
+		}
+	}
+}
+
+func TestEncodeBranches(t *testing.T) {
+	// Forward jump.
+	in := Inst{Op: OpJmp, Srcs: []Operand{PCOp(0x1100)}}
+	buf := MustEncode(&in, 0x1000, nil)
+	if want := []byte{0xE9, 0xFB, 0x00, 0x00, 0x00}; !bytes.Equal(buf, want) {
+		t.Errorf("jmp encoding = % x, want % x", buf, want)
+	}
+	// Backward conditional.
+	in = Inst{Op: OpJnz, Srcs: []Operand{PCOp(0x0F00)}}
+	buf = MustEncode(&in, 0x1000, nil)
+	back, err := Decode(buf, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target, _ := back.Target(); target != 0x0F00 {
+		t.Errorf("round-tripped target = %#x, want 0xF00", target)
+	}
+	// Self-branch (infinite loop): rel = -len.
+	in = Inst{Op: OpJmp, Srcs: []Operand{PCOp(0x2000)}}
+	buf = MustEncode(&in, 0x2000, nil)
+	if want := []byte{0xE9, 0xFB, 0xFF, 0xFF, 0xFF}; !bytes.Equal(buf, want) {
+		t.Errorf("self jmp encoding = % x, want % x", buf, want)
+	}
+	// Call pushes implicit operands and still encodes.
+	in = Inst{Op: OpCall,
+		Dsts: []Operand{MemOp(ESP, RegNone, 0, -4, 4), RegOp(ESP)},
+		Srcs: []Operand{PCOp(0x3000), RegOp(ESP)}}
+	buf = MustEncode(&in, 0x1000, nil)
+	if buf[0] != 0xE8 || len(buf) != 5 {
+		t.Errorf("call encoding = % x", buf)
+	}
+}
+
+func TestEncodeShortImmediateForm(t *testing.T) {
+	// add ebx, 1 with an 8-bit immediate must use the sign-extended 83
+	// form (3 bytes), the encoding the paper's inc2add client produces.
+	dst := RegOp(EBX)
+	in := Inst{Op: OpAdd, Dsts: []Operand{dst}, Srcs: []Operand{Imm8(1), dst}}
+	buf := MustEncode(&in, 0, nil)
+	if want := []byte{0x83, 0xC3, 0x01}; !bytes.Equal(buf, want) {
+		t.Errorf("add ebx,1 = % x, want % x", buf, want)
+	}
+	// With a 32-bit immediate operand the long form is required.
+	in = Inst{Op: OpAdd, Dsts: []Operand{dst}, Srcs: []Operand{Imm32(1), dst}}
+	buf = MustEncode(&in, 0, nil)
+	if len(buf) != 6 || buf[0] != 0x81 {
+		t.Errorf("add ebx,$1(imm32) = % x, want 81 C3 01 00 00 00", buf)
+	}
+}
+
+func TestEncodeAccumulatorShortForms(t *testing.T) {
+	// mov eax <- [abs] should pick the A1 moffs form (5 bytes).
+	in := Inst{Op: OpMov, Dsts: []Operand{RegOp(EAX)}, Srcs: []Operand{AbsMem(0x1234)}}
+	buf := MustEncode(&in, 0, nil)
+	if buf[0] != 0xA1 || len(buf) != 5 {
+		t.Errorf("mov eax,[abs] = % x, want A1 form", buf)
+	}
+	// Any other register uses the ModRM absolute form (6 bytes).
+	in = Inst{Op: OpMov, Dsts: []Operand{RegOp(EBX)}, Srcs: []Operand{AbsMem(0x1234)}}
+	buf = MustEncode(&in, 0, nil)
+	if buf[0] != 0x8B || len(buf) != 6 {
+		t.Errorf("mov ebx,[abs] = % x, want 8B 1D form", buf)
+	}
+}
+
+func TestEncodeNoMatch(t *testing.T) {
+	// Scale 3 is not encodable.
+	in := Inst{Op: OpMov, Dsts: []Operand{RegOp(EAX)},
+		Srcs: []Operand{MemOp(EBX, ECX, 3, 0, 4)}}
+	if _, err := Encode(&in, 0, nil); err == nil {
+		t.Error("scale-3 memory operand: want error")
+	}
+	// ESP as index is not encodable.
+	in = Inst{Op: OpMov, Dsts: []Operand{RegOp(EAX)},
+		Srcs: []Operand{MemOp(EBX, ESP, 1, 0, 4)}}
+	if _, err := Encode(&in, 0, nil); err == nil {
+		t.Error("ESP index: want error")
+	}
+	// Size-mismatched register move.
+	in = Inst{Op: OpMov, Dsts: []Operand{RegOp(EAX)}, Srcs: []Operand{RegOp(BL)}}
+	if _, err := Encode(&in, 0, nil); err == nil {
+		t.Error("mixed-size mov: want error")
+	}
+}
+
+func TestEncodeModRMEdgeCases(t *testing.T) {
+	cases := []Operand{
+		MemOp(EBP, RegNone, 0, 0, 4),   // [ebp] forces disp8=0
+		MemOp(ESP, RegNone, 0, 0, 4),   // [esp] forces SIB
+		MemOp(ESP, RegNone, 0, 64, 4),  // [esp+64]
+		MemOp(EBP, EAX, 2, 0, 4),       // [ebp+eax*2] forces disp8=0 with SIB
+		MemOp(RegNone, EDI, 8, -12, 4), // index only
+		MemOp(EAX, RegNone, 0, 127, 4),
+		MemOp(EAX, RegNone, 0, 128, 4), // disp32 boundary
+		MemOp(EAX, RegNone, 0, -128, 4),
+		MemOp(EAX, RegNone, 0, -129, 4),
+	}
+	for _, m := range cases {
+		in := Inst{Op: OpMov, Dsts: []Operand{RegOp(ECX)}, Srcs: []Operand{m}}
+		buf, err := Encode(&in, 0, nil)
+		if err != nil {
+			t.Errorf("%v: %v", m, err)
+			continue
+		}
+		back, err := Decode(buf, 0)
+		if err != nil {
+			t.Errorf("%v: decode: %v", m, err)
+			continue
+		}
+		if !back.Srcs[0].Equal(m) {
+			t.Errorf("%v round-tripped to %v (bytes % x)", m, back.Srcs[0], buf)
+		}
+	}
+}
+
+func TestEncodedLen(t *testing.T) {
+	in := Inst{Op: OpNop}
+	n, err := EncodedLen(&in)
+	if err != nil || n != 1 {
+		t.Errorf("nop length = %d, %v; want 1", n, err)
+	}
+}
+
+func TestPrefixRoundTrip(t *testing.T) {
+	dst := MemOp(EDI, RegNone, 0, 0, 4)
+	in := Inst{Op: OpInc, Prefixes: PrefixLock, Dsts: []Operand{dst}, Srcs: []Operand{dst}}
+	buf := MustEncode(&in, 0, nil)
+	back, err := Decode(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Prefixes != PrefixLock {
+		t.Errorf("prefixes = %#x, want lock", back.Prefixes)
+	}
+}

@@ -1,0 +1,63 @@
+package ia32
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through all three decode strategies.
+// Invariants: no panics; the strategies agree on decodability and length;
+// anything decodable re-encodes, and the re-encoding decodes back to the
+// same opcode and operands.
+func FuzzDecode(f *testing.F) {
+	f.Add(fig2Bytes)
+	f.Add([]byte{0x90})
+	f.Add([]byte{0xF0, 0xFF, 0x07})
+	f.Add([]byte{0x0F, 0xB7, 0x4E, 0x08})
+	f.Add([]byte{0xC2, 0x08, 0x00})
+	f.Add([]byte{0x8B, 0x04, 0xD5, 0x10, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x0F, 0x4D, 0xC1}) // cmovnl
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n1, err1 := BoundaryLen(data)
+		_, n2, _, err2 := DecodeOpcode(data)
+		in, err3 := Decode(data, 0x4000)
+		if (err1 == nil) != (err2 == nil) || (err2 == nil) != (err3 == nil) {
+			t.Fatalf("strategies disagree on % x: %v / %v / %v", data, err1, err2, err3)
+		}
+		if err1 != nil {
+			return
+		}
+		if n1 != n2 || n1 != int(in.Len) {
+			t.Fatalf("lengths disagree on % x: %d/%d/%d", data, n1, n2, in.Len)
+		}
+		out, err := Encode(&in, 0x4000, nil)
+		if err != nil {
+			t.Fatalf("cannot re-encode decoded %s: %v", &in, err)
+		}
+		back, err := Decode(out, 0x4000)
+		if err != nil {
+			t.Fatalf("re-encoding undecodable: % x: %v", out, err)
+		}
+		if back.Op != in.Op || len(back.Srcs) != len(in.Srcs) || len(back.Dsts) != len(in.Dsts) {
+			t.Fatalf("round trip changed shape: %s vs %s", &in, &back)
+		}
+		for i := range in.Srcs {
+			if !back.Srcs[i].Equal(in.Srcs[i]) {
+				t.Fatalf("src %d changed: %v vs %v", i, in.Srcs[i], back.Srcs[i])
+			}
+		}
+		for i := range in.Dsts {
+			if !back.Dsts[i].Equal(in.Dsts[i]) {
+				t.Fatalf("dst %d changed: %v vs %v", i, in.Dsts[i], back.Dsts[i])
+			}
+		}
+		// Idempotence: re-encoding the re-decode reproduces the bytes.
+		out2, err := Encode(&back, 0x4000, nil)
+		if err != nil || !bytes.Equal(out, out2) {
+			t.Fatalf("encode not idempotent: % x vs % x (%v)", out, out2, err)
+		}
+	})
+}

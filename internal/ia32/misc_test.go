@@ -1,0 +1,202 @@
+package ia32
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestOperandHelpers(t *testing.T) {
+	if !(Operand{}).IsNil() {
+		t.Error("zero operand should be nil")
+	}
+	m := BaseDisp(ESI, 12)
+	if !m.IsMem() || m.IsImm() || m.Base != ESI || m.Disp != 12 || m.Size != 4 {
+		t.Errorf("BaseDisp = %+v", m)
+	}
+	if !Imm8(5).IsImm() {
+		t.Error("Imm8 should be an immediate")
+	}
+
+	// UsesReg, including sub-registers and address components.
+	if !RegOp(AL).UsesReg(EAX) || !RegOp(EAX).UsesReg(AH) {
+		t.Error("sub-register aliasing not detected")
+	}
+	idx := MemOp(EBX, ECX, 4, 0, 4)
+	if !idx.UsesReg(EBX) || !idx.UsesReg(CL) || idx.UsesReg(EDX) {
+		t.Error("memory operand register usage wrong")
+	}
+	if Imm32(1).UsesReg(EAX) {
+		t.Error("immediates use no registers")
+	}
+
+	// SameAddress: exact match only.
+	a := MemOp(EBP, RegNone, 0, -4, 4)
+	if !a.SameAddress(MemOp(EBP, RegNone, 0, -4, 4)) {
+		t.Error("identical addresses should match")
+	}
+	for _, other := range []Operand{
+		MemOp(EBP, RegNone, 0, -8, 4),
+		MemOp(ESP, RegNone, 0, -4, 4),
+		MemOp(EBP, EAX, 1, -4, 4),
+		MemOp(EBP, RegNone, 0, -4, 1),
+		RegOp(EBP),
+	} {
+		if a.SameAddress(other) {
+			t.Errorf("%v should not match %v", a, other)
+		}
+	}
+}
+
+func TestOperandStrings(t *testing.T) {
+	cases := []struct {
+		o    Operand
+		want string
+	}{
+		{Operand{}, "<nil>"},
+		{RegOp(ESI), "%esi"},
+		{Imm8(7), "$0x07"},
+		{PCOp(0x1234), "$0x00001234"},
+		{AbsMem(0x8000), "0x8000"},
+		{BaseDisp(EBP, -4), "0xfffffffc(%ebp)"},
+		{MemOp(EBX, ECX, 4, 0x20, 4), "0x20(%ebx,%ecx,4)"},
+		{MemOp(RegNone, EDX, 8, 0, 4), "(,%edx,8)"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("%+v => %q, want %q", c.o, got, c.want)
+		}
+	}
+}
+
+func TestEflagsSetHelpers(t *testing.T) {
+	e := OpAdc.Eflags() // reads CF, writes all six
+	if e.ReadSet() != EflagsReadCF {
+		t.Errorf("ReadSet = %s", e.ReadSet())
+	}
+	if e.WriteSet() != EflagsWriteAll {
+		t.Errorf("WriteSet = %s", e.WriteSet())
+	}
+	if e.WritesToReads() != EflagsReadAll {
+		t.Errorf("WritesToReads = %v", e.WritesToReads())
+	}
+	if m := OpJb.Eflags().ArchMask(); m != FlagCF {
+		t.Errorf("jb arch mask = %#x", m)
+	}
+	if m := OpJnle.Eflags().ArchMask(); m != FlagZF|FlagSF|FlagOF {
+		t.Errorf("jnle arch mask = %#x", m)
+	}
+}
+
+func TestSetCmovCondCodes(t *testing.T) {
+	for cc := uint8(0); cc < 16; cc++ {
+		if got, ok := SetCondCode(Setcc(cc)); !ok || got != cc {
+			t.Errorf("SetCondCode(Setcc(%d)) = %d, %v", cc, got, ok)
+		}
+		if got, ok := CmovCondCode(Cmovcc(cc)); !ok || got != cc {
+			t.Errorf("CmovCondCode(Cmovcc(%d)) = %d, %v", cc, got, ok)
+		}
+	}
+	if _, ok := SetCondCode(OpAdd); ok {
+		t.Error("add is not setcc")
+	}
+	if _, ok := CmovCondCode(OpSetz); ok {
+		t.Error("setz is not cmov")
+	}
+	if Setcc(4).String() != "setz" || Cmovcc(5).String() != "cmovnz" {
+		t.Errorf("names: %s %s", Setcc(4), Cmovcc(5))
+	}
+	if Setcc(4).Eflags() != EflagsReadZF {
+		t.Errorf("setz eflags = %s", Setcc(4).Eflags())
+	}
+}
+
+func TestDisasmBytes(t *testing.T) {
+	s := DisasmBytes(fig2Bytes, 0x1000)
+	if !strings.Contains(s, "lea") || !strings.Contains(s, "jnl") {
+		t.Errorf("disasm missing instructions:\n%s", s)
+	}
+	// Stops cleanly at undecodable bytes.
+	s = DisasmBytes([]byte{0x90, 0x0F, 0x0B}, 0)
+	if !strings.Contains(s, "nop") || !strings.Contains(s, "<") {
+		t.Errorf("disasm error handling:\n%s", s)
+	}
+}
+
+func TestInstEflagsAndBadStrings(t *testing.T) {
+	in, err := Decode([]byte{0x01, 0xD8}, 0) // add eax, ebx
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Eflags() != EflagsWrite6 {
+		t.Errorf("inst eflags = %s", in.Eflags())
+	}
+	if Opcode(60000).String() == "" || Opcode(60000).Eflags() != 0 {
+		t.Error("out-of-range opcode handling")
+	}
+	if Reg(200).String() == "" {
+		t.Error("out-of-range register string")
+	}
+}
+
+func TestPrefixStrings(t *testing.T) {
+	in, err := Decode([]byte{0xF3, 0x90}, 0) // rep nop (pause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Prefixes&PrefixRep == 0 {
+		t.Error("rep prefix missing")
+	}
+	if s := in.String(); !strings.Contains(s, "rep") {
+		t.Errorf("prefix not shown: %q", s)
+	}
+	in2, err := Decode([]byte{0xF2, 0x90}, 0)
+	if err != nil || in2.Prefixes&PrefixRepne == 0 {
+		t.Error("repne prefix missing")
+	}
+}
+
+func TestTargetOnIndirect(t *testing.T) {
+	in, err := Decode([]byte{0xFF, 0xE0}, 0) // jmp eax
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := in.Target(); ok {
+		t.Error("indirect jump has no static target")
+	}
+}
+
+// TestDecodeNeverPanics feeds random byte soup to all three decode
+// strategies: they must return errors, never panic, and whatever decodes
+// must re-encode to the same length.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	buf := make([]byte, 16)
+	for i := 0; i < 300000; i++ {
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		n1, err1 := BoundaryLen(buf)
+		_, n2, _, err2 := DecodeOpcode(buf)
+		in, err3 := Decode(buf, 0x1000)
+		if (err1 == nil) != (err2 == nil) || (err2 == nil) != (err3 == nil) {
+			t.Fatalf("decode strategies disagree on % x: %v / %v / %v", buf, err1, err2, err3)
+		}
+		if err1 != nil {
+			continue
+		}
+		if n1 != n2 || n1 != int(in.Len) {
+			t.Fatalf("lengths disagree on % x: %d/%d/%d", buf, n1, n2, in.Len)
+		}
+		out, err := Encode(&in, 0x1000, nil)
+		if err != nil {
+			t.Fatalf("decoded % x (%s) but cannot re-encode: %v", buf[:n1], &in, err)
+		}
+		// Re-encoding may legally pick a different (shorter) template,
+		// but decoding the re-encoding must reproduce the instruction.
+		back, err := Decode(out, 0x1000)
+		if err != nil || back.Op != in.Op {
+			t.Fatalf("re-decode of % x failed: %v (op %v vs %v)", out, err, back.Op, in.Op)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package ia32
+
+import "fmt"
+
+// Opcode identifies an instruction mnemonic. Conditional branches get one
+// opcode per condition (as in DynamoRIO's OP_ constants) so that eflags
+// effects can be derived from the opcode alone at Level 2.
+type Opcode uint16
+
+const (
+	OpInvalid Opcode = iota
+
+	// Data movement.
+	OpMov
+	OpMovzx
+	OpMovsx
+	OpLea
+	OpXchg
+	OpPush
+	OpPop
+	OpPushfd
+	OpPopfd
+
+	// Arithmetic and logic.
+	OpAdd
+	OpAdc
+	OpSub
+	OpSbb
+	OpCmp
+	OpInc
+	OpDec
+	OpNeg
+	OpNot
+	OpAnd
+	OpOr
+	OpXor
+	OpTest
+	OpImul
+	OpShl
+	OpShr
+	OpSar
+	OpRol
+	OpRor
+	OpBswap
+	OpXadd
+
+	// Unconditional control transfer.
+	OpJmp     // direct near jump
+	OpJmpInd  // indirect jump through register or memory
+	OpCall    // direct near call
+	OpCallInd // indirect call through register or memory
+	OpRet
+
+	// Conditional branches, in IA-32 condition-code order starting at
+	// OpJo (cc 0). The order is load-bearing: cc = opcode - OpJo.
+	OpJo
+	OpJno
+	OpJb
+	OpJnb
+	OpJz
+	OpJnz
+	OpJbe
+	OpJnbe
+	OpJs
+	OpJns
+	OpJp
+	OpJnp
+	OpJl
+	OpJnl
+	OpJle
+	OpJnle
+
+	// Conditional data movement, in IA-32 condition-code order (cc =
+	// opcode - OpSeto / OpCmovo). Not control transfers: they read the
+	// flags a conditional branch would, but only move data, so they are
+	// the branchless idiom compilers use for unpredictable selections.
+	OpSeto
+	OpSetno
+	OpSetb
+	OpSetnb
+	OpSetz
+	OpSetnz
+	OpSetbe
+	OpSetnbe
+	OpSets
+	OpSetns
+	OpSetp
+	OpSetnp
+	OpSetl
+	OpSetnl
+	OpSetle
+	OpSetnle
+
+	OpCmovo
+	OpCmovno
+	OpCmovb
+	OpCmovnb
+	OpCmovz
+	OpCmovnz
+	OpCmovbe
+	OpCmovnbe
+	OpCmovs
+	OpCmovns
+	OpCmovp
+	OpCmovnp
+	OpCmovl
+	OpCmovnl
+	OpCmovle
+	OpCmovnle
+
+	// Miscellaneous.
+	OpNop
+	OpHlt
+	OpInt
+
+	NumOpcodes // sentinel: number of opcodes
+)
+
+// opInfo records per-opcode static properties.
+type opInfo struct {
+	name   string
+	eflags Eflags
+	flags  uint16
+}
+
+// Opcode property flags.
+const (
+	propCTI      = 1 << iota // control-transfer instruction
+	propCond                 // conditional (falls through when untaken)
+	propIndirect             // target not encoded in the instruction
+	propCall                 // pushes a return address
+	propRet                  // pops a return address
+)
+
+var opTable = [NumOpcodes]opInfo{
+	OpInvalid: {name: "<invalid>"},
+
+	OpMov:    {name: "mov"},
+	OpMovzx:  {name: "movzx"},
+	OpMovsx:  {name: "movsx"},
+	OpLea:    {name: "lea"},
+	OpXchg:   {name: "xchg"},
+	OpPush:   {name: "push"},
+	OpPop:    {name: "pop"},
+	OpPushfd: {name: "pushfd", eflags: EflagsReadAll},
+	OpPopfd:  {name: "popfd", eflags: EflagsWriteAll},
+
+	OpAdd:  {name: "add", eflags: EflagsWrite6},
+	OpAdc:  {name: "adc", eflags: EflagsReadCF | EflagsWrite6},
+	OpSub:  {name: "sub", eflags: EflagsWrite6},
+	OpSbb:  {name: "sbb", eflags: EflagsReadCF | EflagsWrite6},
+	OpCmp:  {name: "cmp", eflags: EflagsWrite6},
+	OpInc:  {name: "inc", eflags: EflagsWrite6 &^ EflagsWriteCF},
+	OpDec:  {name: "dec", eflags: EflagsWrite6 &^ EflagsWriteCF},
+	OpNeg:  {name: "neg", eflags: EflagsWrite6},
+	OpNot:  {name: "not"},
+	OpAnd:  {name: "and", eflags: EflagsWrite6},
+	OpOr:   {name: "or", eflags: EflagsWrite6},
+	OpXor:  {name: "xor", eflags: EflagsWrite6},
+	OpTest: {name: "test", eflags: EflagsWrite6},
+	// The real instruction leaves SF/ZF/AF/PF undefined; modelling them
+	// as written is the safe choice for transformations.
+	OpImul:  {name: "imul", eflags: EflagsWrite6},
+	OpShl:   {name: "shl", eflags: EflagsWrite6},
+	OpShr:   {name: "shr", eflags: EflagsWrite6},
+	OpSar:   {name: "sar", eflags: EflagsWrite6},
+	OpRol:   {name: "rol", eflags: EflagsWriteCF | EflagsWriteOF},
+	OpRor:   {name: "ror", eflags: EflagsWriteCF | EflagsWriteOF},
+	OpBswap: {name: "bswap"},
+	OpXadd:  {name: "xadd", eflags: EflagsWrite6},
+
+	OpJmp:     {name: "jmp", flags: propCTI},
+	OpJmpInd:  {name: "jmp", flags: propCTI | propIndirect},
+	OpCall:    {name: "call", flags: propCTI | propCall},
+	OpCallInd: {name: "call", flags: propCTI | propIndirect | propCall},
+	OpRet:     {name: "ret", flags: propCTI | propIndirect | propRet},
+
+	OpJo:   {name: "jo", flags: propCTI | propCond},
+	OpJno:  {name: "jno", flags: propCTI | propCond},
+	OpJb:   {name: "jb", flags: propCTI | propCond},
+	OpJnb:  {name: "jnb", flags: propCTI | propCond},
+	OpJz:   {name: "jz", flags: propCTI | propCond},
+	OpJnz:  {name: "jnz", flags: propCTI | propCond},
+	OpJbe:  {name: "jbe", flags: propCTI | propCond},
+	OpJnbe: {name: "jnbe", flags: propCTI | propCond},
+	OpJs:   {name: "js", flags: propCTI | propCond},
+	OpJns:  {name: "jns", flags: propCTI | propCond},
+	OpJp:   {name: "jp", flags: propCTI | propCond},
+	OpJnp:  {name: "jnp", flags: propCTI | propCond},
+	OpJl:   {name: "jl", flags: propCTI | propCond},
+	OpJnl:  {name: "jnl", flags: propCTI | propCond},
+	OpJle:  {name: "jle", flags: propCTI | propCond},
+	OpJnle: {name: "jnle", flags: propCTI | propCond},
+
+	OpNop: {name: "nop"},
+	OpHlt: {name: "hlt"},
+	OpInt: {name: "int"},
+}
+
+func init() {
+	// Conditional branch, set and move eflags reads derive from the
+	// condition code; setcc/cmovcc names derive from the branch names.
+	for op := OpJo; op <= OpJnle; op++ {
+		opTable[op].eflags = condEflagsRead(uint8(op - OpJo))
+	}
+	for cc := uint8(0); cc < 16; cc++ {
+		cond := Jcc(cc).String()[1:] // strip the leading 'j'
+		opTable[OpSeto+Opcode(cc)] = opInfo{
+			name:   "set" + cond,
+			eflags: condEflagsRead(cc),
+		}
+		opTable[OpCmovo+Opcode(cc)] = opInfo{
+			name:   "cmov" + cond,
+			eflags: condEflagsRead(cc),
+		}
+	}
+}
+
+// String returns the instruction mnemonic.
+func (op Opcode) String() string {
+	if op < NumOpcodes {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("Opcode(%d)", uint16(op))
+}
+
+// Eflags returns the opcode's effect on the six arithmetic flags.
+func (op Opcode) Eflags() Eflags {
+	if op < NumOpcodes {
+		return opTable[op].eflags
+	}
+	return 0
+}
+
+// IsCTI reports whether the opcode is a control-transfer instruction.
+func (op Opcode) IsCTI() bool { return op < NumOpcodes && opTable[op].flags&propCTI != 0 }
+
+// IsCond reports whether the opcode is a conditional branch.
+func (op Opcode) IsCond() bool { return op < NumOpcodes && opTable[op].flags&propCond != 0 }
+
+// IsIndirect reports whether the opcode transfers control to a target that
+// is not encoded in the instruction (indirect jump/call, return).
+func (op Opcode) IsIndirect() bool { return op < NumOpcodes && opTable[op].flags&propIndirect != 0 }
+
+// IsCall reports whether the opcode pushes a return address.
+func (op Opcode) IsCall() bool { return op < NumOpcodes && opTable[op].flags&propCall != 0 }
+
+// IsRet reports whether the opcode pops a return address.
+func (op Opcode) IsRet() bool { return op < NumOpcodes && opTable[op].flags&propRet != 0 }
+
+// CondCode returns the IA-32 condition code (0-15) of a conditional branch
+// opcode, and whether op is in fact conditional.
+func (op Opcode) CondCode() (uint8, bool) {
+	if op >= OpJo && op <= OpJnle {
+		return uint8(op - OpJo), true
+	}
+	return 0, false
+}
+
+// Jcc returns the conditional branch opcode for the IA-32 condition code cc.
+func Jcc(cc uint8) Opcode { return OpJo + Opcode(cc&0xf) }
+
+// Setcc returns the conditional-set opcode for condition code cc.
+func Setcc(cc uint8) Opcode { return OpSeto + Opcode(cc&0xf) }
+
+// Cmovcc returns the conditional-move opcode for condition code cc.
+func Cmovcc(cc uint8) Opcode { return OpCmovo + Opcode(cc&0xf) }
+
+// SetCondCode returns the condition code of a setcc opcode.
+func SetCondCode(op Opcode) (uint8, bool) {
+	if op >= OpSeto && op <= OpSetnle {
+		return uint8(op - OpSeto), true
+	}
+	return 0, false
+}
+
+// CmovCondCode returns the condition code of a cmovcc opcode.
+func CmovCondCode(op Opcode) (uint8, bool) {
+	if op >= OpCmovo && op <= OpCmovnle {
+		return uint8(op - OpCmovo), true
+	}
+	return 0, false
+}
+
+// NegateCond returns the conditional branch opcode testing the opposite
+// condition, and whether op was conditional.
+func NegateCond(op Opcode) (Opcode, bool) {
+	cc, ok := op.CondCode()
+	if !ok {
+		return op, false
+	}
+	return Jcc(cc ^ 1), true
+}
+
+// Prefix bits carried on an instruction. The subset machine assigns no
+// semantics to LOCK/REP, but the representation round-trips them faithfully,
+// as the paper's client code does with instr_get_prefixes.
+const (
+	PrefixLock uint8 = 1 << iota
+	PrefixRep
+	PrefixRepne
+)
+
+// prefixByte maps a raw prefix byte to its Prefix bit, or 0.
+func prefixBit(b byte) uint8 {
+	switch b {
+	case 0xF0:
+		return PrefixLock
+	case 0xF3:
+		return PrefixRep
+	case 0xF2:
+		return PrefixRepne
+	}
+	return 0
+}
+
+func prefixBytes(p uint8) []byte {
+	var out []byte
+	if p&PrefixLock != 0 {
+		out = append(out, 0xF0)
+	}
+	if p&PrefixRep != 0 {
+		out = append(out, 0xF3)
+	}
+	if p&PrefixRepne != 0 {
+		out = append(out, 0xF2)
+	}
+	return out
+}

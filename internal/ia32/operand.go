@@ -1,0 +1,147 @@
+package ia32
+
+import "fmt"
+
+// OperandKind classifies an Operand.
+type OperandKind uint8
+
+const (
+	OperandNone OperandKind = iota
+	OperandReg              // a register
+	OperandImm              // an immediate value
+	OperandMem              // a memory reference: [base + index*scale + disp]
+	OperandPC               // a code address (branch target), kept absolute
+)
+
+// Operand is a single instruction operand. Operands are small values and are
+// passed and stored by value throughout the system.
+//
+// Memory operands follow the IA-32 addressing form base + index*scale + disp
+// with any component optional. Branch targets are held as absolute code
+// addresses (OperandPC) regardless of whether the machine encoding is
+// relative; the encoder converts to a relative displacement using the
+// instruction's address.
+type Operand struct {
+	Kind  OperandKind
+	Size  uint8 // access size in bytes: 1, 2 or 4
+	Reg   Reg   // OperandReg: the register; OperandMem: unused
+	Base  Reg   // OperandMem: base register or RegNone
+	Index Reg   // OperandMem: index register or RegNone
+	Scale uint8 // OperandMem: 1, 2, 4 or 8 (0 means no index)
+	Disp  int32 // OperandMem: displacement
+	Imm   int64 // OperandImm: value (sign-extended)
+	PC    uint32
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: OperandReg, Reg: r, Size: r.Size()} }
+
+// ImmOp returns an immediate operand of the given size in bytes.
+func ImmOp(v int64, size uint8) Operand { return Operand{Kind: OperandImm, Imm: v, Size: size} }
+
+// Imm8 returns a one-byte immediate operand.
+func Imm8(v int64) Operand { return ImmOp(v, 1) }
+
+// Imm32 returns a four-byte immediate operand.
+func Imm32(v int64) Operand { return ImmOp(v, 4) }
+
+// MemOp returns a memory operand [base + index*scale + disp] accessing size
+// bytes.
+func MemOp(base, index Reg, scale uint8, disp int32, size uint8) Operand {
+	if index == RegNone {
+		scale = 0
+	}
+	return Operand{Kind: OperandMem, Base: base, Index: index, Scale: scale, Disp: disp, Size: size}
+}
+
+// BaseDisp returns a 32-bit memory operand [base + disp].
+func BaseDisp(base Reg, disp int32) Operand { return MemOp(base, RegNone, 0, disp, 4) }
+
+// AbsMem returns a 32-bit memory operand with an absolute address.
+func AbsMem(addr uint32) Operand { return MemOp(RegNone, RegNone, 0, int32(addr), 4) }
+
+// PCOp returns a code-address operand (a branch target).
+func PCOp(pc uint32) Operand { return Operand{Kind: OperandPC, PC: pc, Size: 4} }
+
+// IsNil reports whether the operand is absent.
+func (o Operand) IsNil() bool { return o.Kind == OperandNone }
+
+// IsReg reports whether the operand is the given register.
+func (o Operand) IsReg(r Reg) bool { return o.Kind == OperandReg && o.Reg == r }
+
+// IsMem reports whether the operand is a memory reference.
+func (o Operand) IsMem() bool { return o.Kind == OperandMem }
+
+// IsImm reports whether the operand is an immediate.
+func (o Operand) IsImm() bool { return o.Kind == OperandImm }
+
+// UsesReg reports whether the operand mentions r, either directly (register
+// operand) or as an address component (base or index). Sub-registers count:
+// a memory operand based on EAX "uses" AL.
+func (o Operand) UsesReg(r Reg) bool {
+	full := r.Full()
+	switch o.Kind {
+	case OperandReg:
+		return o.Reg.Full() == full
+	case OperandMem:
+		return (o.Base != RegNone && o.Base.Full() == full) ||
+			(o.Index != RegNone && o.Index.Full() == full)
+	}
+	return false
+}
+
+// Equal reports whether two operands are identical.
+func (o Operand) Equal(p Operand) bool { return o == p }
+
+// SameAddress reports whether two memory operands compute the same effective
+// address with the same access size (ignoring nothing: all components must
+// match).
+func (o Operand) SameAddress(p Operand) bool {
+	return o.Kind == OperandMem && p.Kind == OperandMem &&
+		o.Base == p.Base && o.Index == p.Index && o.Scale == p.Scale &&
+		o.Disp == p.Disp && o.Size == p.Size
+}
+
+// String renders the operand in the AT&T-flavoured style of the paper's
+// Figure 2: registers as %eax, immediates as $0x…, memory as disp(%base,
+// %index,scale), and code targets as $0x… absolute addresses.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandNone:
+		return "<nil>"
+	case OperandReg:
+		return "%" + o.Reg.String()
+	case OperandImm:
+		return fmt.Sprintf("$0x%02x", uint64(o.Imm)&sizeMask(o.Size))
+	case OperandPC:
+		return fmt.Sprintf("$0x%08x", o.PC)
+	case OperandMem:
+		s := ""
+		if o.Disp != 0 || (o.Base == RegNone && o.Index == RegNone) {
+			s = fmt.Sprintf("0x%x", uint32(o.Disp))
+		}
+		if o.Base == RegNone && o.Index == RegNone {
+			return s
+		}
+		s += "("
+		if o.Base != RegNone {
+			s += "%" + o.Base.String()
+		}
+		if o.Index != RegNone {
+			s += fmt.Sprintf(",%%%s,%d", o.Index.String(), o.Scale)
+		}
+		return s + ")"
+	}
+	return "<bad operand>"
+}
+
+func sizeMask(size uint8) uint64 {
+	switch size {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}

@@ -1,0 +1,295 @@
+package ia32
+
+// SpecKind classifies one operand slot of an encoding template: where the
+// operand's bits live in the machine encoding (ModRM fields, immediate
+// bytes, opcode byte) or that the operand is implicit in the opcode.
+type SpecKind uint8
+
+const (
+	specNone      SpecKind = iota
+	specRM                 // ModRM r/m field: register or memory
+	specM                  // ModRM r/m field: memory only (lea)
+	specR                  // ModRM reg field: register
+	specRPlus              // register encoded in low 3 bits of last opcode byte
+	specImm                // immediate bytes of Size
+	specImm1               // the constant 1 implied by the opcode (D1 /4 etc.)
+	specRel                // PC-relative displacement of Size; operand is OperandPC
+	specMoffs              // absolute 32-bit address without ModRM (A1/A3)
+	specFixedReg           // a specific register implied or required (AL, EAX, CL)
+	specStackPush          // implicit memory operand at [esp-Size] (push side)
+	specStackPop           // implicit memory operand at [esp] (pop side)
+	specTiedDst            // implicit re-read of Dsts[Tie] (add reads its dst)
+)
+
+// Spec describes one operand slot of a Template.
+type Spec struct {
+	Kind     SpecKind
+	Size     uint8 // operand size in bytes
+	Reg      Reg   // specFixedReg: which register
+	Tie      int8  // specTiedDst: index into Dsts
+	Implicit bool  // synthesized by the decoder, skipped by the encoder
+}
+
+// Template is one machine encoding of an opcode. A single opcode typically
+// has several templates (register/memory forms, immediate widths, short
+// accumulator forms); the encoder walks them in order looking for a match,
+// exactly the costly search the paper describes, and the decoder finds the
+// unique template for a given byte sequence.
+//
+// Operand lists hold explicit operands first (in disassembly order), then
+// implicit ones, and the decoder synthesizes operands in that same order, so
+// template and instruction operand positions always correspond.
+type Template struct {
+	Op         Opcode
+	Opc        []byte // opcode bytes (1, or 2 beginning with 0x0F)
+	PlusReg    bool   // low 3 bits of final opcode byte hold a register
+	ModRM      bool
+	Ext        int8 // ModRM reg field: /digit, or -1 for /r
+	Dsts, Srcs []Spec
+	DecodeOnly bool // never selected by the encoder (short forms we don't emit)
+}
+
+// Spec constructors, used only to build the template table.
+func rm(size uint8) Spec      { return Spec{Kind: specRM, Size: size} }
+func mem() Spec               { return Spec{Kind: specM, Size: 4} }
+func reg(size uint8) Spec     { return Spec{Kind: specR, Size: size} }
+func rplus(size uint8) Spec   { return Spec{Kind: specRPlus, Size: size} }
+func imm(size uint8) Spec     { return Spec{Kind: specImm, Size: size} }
+func immOne() Spec            { return Spec{Kind: specImm1, Size: 1} }
+func rel(size uint8) Spec     { return Spec{Kind: specRel, Size: size} }
+func moffs() Spec             { return Spec{Kind: specMoffs, Size: 4} }
+func fixed(r Reg) Spec        { return Spec{Kind: specFixedReg, Size: r.Size(), Reg: r} }
+func stackPush() Spec         { return Spec{Kind: specStackPush, Size: 4, Implicit: true} }
+func stackPop() Spec          { return Spec{Kind: specStackPop, Size: 4, Implicit: true} }
+func espImp() Spec            { return Spec{Kind: specFixedReg, Size: 4, Reg: ESP, Implicit: true} }
+func tied(dstIndex int8) Spec { return Spec{Kind: specTiedDst, Tie: dstIndex, Implicit: true} }
+func d(specs ...Spec) []Spec  { return specs }
+func s(specs ...Spec) []Spec  { return specs }
+func none() []Spec            { return nil }
+func b(bytes ...byte) []byte  { return bytes }
+func ext(digit int8) int8     { return digit }
+
+// templates is the complete encoding table of the ISA subset.
+var templates = buildTemplates()
+
+func buildTemplates() []*Template {
+	var t []*Template
+	add := func(tm Template) {
+		copy2 := tm
+		t = append(t, &copy2)
+	}
+
+	// --- mov ---
+	// Accumulator absolute forms first so the encoder prefers the short
+	// encoding for eax<->absolute-address moves.
+	add(Template{Op: OpMov, Opc: b(0xA1), Dsts: d(fixed(EAX)), Srcs: s(moffs())})
+	add(Template{Op: OpMov, Opc: b(0xA3), Dsts: d(moffs()), Srcs: s(fixed(EAX))})
+	add(Template{Op: OpMov, Opc: b(0x88), ModRM: true, Ext: ext(-1), Dsts: d(rm(1)), Srcs: s(reg(1))})
+	add(Template{Op: OpMov, Opc: b(0x89), ModRM: true, Ext: ext(-1), Dsts: d(rm(4)), Srcs: s(reg(4))})
+	add(Template{Op: OpMov, Opc: b(0x8A), ModRM: true, Ext: ext(-1), Dsts: d(reg(1)), Srcs: s(rm(1))})
+	add(Template{Op: OpMov, Opc: b(0x8B), ModRM: true, Ext: ext(-1), Dsts: d(reg(4)), Srcs: s(rm(4))})
+	add(Template{Op: OpMov, Opc: b(0xB0), PlusReg: true, Dsts: d(rplus(1)), Srcs: s(imm(1))})
+	add(Template{Op: OpMov, Opc: b(0xB8), PlusReg: true, Dsts: d(rplus(4)), Srcs: s(imm(4))})
+	add(Template{Op: OpMov, Opc: b(0xC6), ModRM: true, Ext: ext(0), Dsts: d(rm(1)), Srcs: s(imm(1))})
+	add(Template{Op: OpMov, Opc: b(0xC7), ModRM: true, Ext: ext(0), Dsts: d(rm(4)), Srcs: s(imm(4))})
+
+	// --- movzx / movsx ---
+	add(Template{Op: OpMovzx, Opc: b(0x0F, 0xB6), ModRM: true, Ext: ext(-1), Dsts: d(reg(4)), Srcs: s(rm(1))})
+	add(Template{Op: OpMovzx, Opc: b(0x0F, 0xB7), ModRM: true, Ext: ext(-1), Dsts: d(reg(4)), Srcs: s(rm(2))})
+	add(Template{Op: OpMovsx, Opc: b(0x0F, 0xBE), ModRM: true, Ext: ext(-1), Dsts: d(reg(4)), Srcs: s(rm(1))})
+	add(Template{Op: OpMovsx, Opc: b(0x0F, 0xBF), ModRM: true, Ext: ext(-1), Dsts: d(reg(4)), Srcs: s(rm(2))})
+
+	// --- lea ---
+	add(Template{Op: OpLea, Opc: b(0x8D), ModRM: true, Ext: ext(-1), Dsts: d(reg(4)), Srcs: s(mem())})
+
+	// --- xchg ---
+	add(Template{Op: OpXchg, Opc: b(0x87), ModRM: true, Ext: ext(-1),
+		Dsts: d(rm(4), reg(4)), Srcs: s(tied(0), tied(1))})
+
+	// --- push / pop ---
+	add(Template{Op: OpPush, Opc: b(0x50), PlusReg: true,
+		Dsts: d(stackPush(), espImp()), Srcs: s(rplus(4), espImp())})
+	add(Template{Op: OpPush, Opc: b(0x6A),
+		Dsts: d(stackPush(), espImp()), Srcs: s(imm(1), espImp())})
+	add(Template{Op: OpPush, Opc: b(0x68),
+		Dsts: d(stackPush(), espImp()), Srcs: s(imm(4), espImp())})
+	add(Template{Op: OpPush, Opc: b(0xFF), ModRM: true, Ext: ext(6),
+		Dsts: d(stackPush(), espImp()), Srcs: s(rm(4), espImp())})
+	add(Template{Op: OpPop, Opc: b(0x58), PlusReg: true,
+		Dsts: d(rplus(4), espImp()), Srcs: s(stackPop(), espImp())})
+	add(Template{Op: OpPop, Opc: b(0x8F), ModRM: true, Ext: ext(0),
+		Dsts: d(rm(4), espImp()), Srcs: s(stackPop(), espImp())})
+	add(Template{Op: OpPushfd, Opc: b(0x9C),
+		Dsts: d(stackPush(), espImp()), Srcs: s(espImp())})
+	add(Template{Op: OpPopfd, Opc: b(0x9D),
+		Dsts: d(espImp()), Srcs: s(stackPop(), espImp())})
+
+	// --- two-operand arithmetic family ---
+	// Each opcode has the classic eight forms; digit selects the /digit of
+	// the 80/81/83 group and base is the row of short opcodes.
+	arith := func(op Opcode, digit int8) {
+		base := byte(digit) * 8
+		// Accumulator-immediate short forms.
+		add(Template{Op: op, Opc: b(base + 4), Dsts: d(fixed(AL)), Srcs: s(imm(1), tied(0))})
+		add(Template{Op: op, Opc: b(base + 5), Dsts: d(fixed(EAX)), Srcs: s(imm(4), tied(0))})
+		add(Template{Op: op, Opc: b(base + 0), ModRM: true, Ext: ext(-1), Dsts: d(rm(1)), Srcs: s(reg(1), tied(0))})
+		add(Template{Op: op, Opc: b(base + 1), ModRM: true, Ext: ext(-1), Dsts: d(rm(4)), Srcs: s(reg(4), tied(0))})
+		add(Template{Op: op, Opc: b(base + 2), ModRM: true, Ext: ext(-1), Dsts: d(reg(1)), Srcs: s(rm(1), tied(0))})
+		add(Template{Op: op, Opc: b(base + 3), ModRM: true, Ext: ext(-1), Dsts: d(reg(4)), Srcs: s(rm(4), tied(0))})
+		add(Template{Op: op, Opc: b(0x80), ModRM: true, Ext: digit, Dsts: d(rm(1)), Srcs: s(imm(1), tied(0))})
+		// Sign-extended imm8 form before the imm32 form: shorter wins.
+		add(Template{Op: op, Opc: b(0x83), ModRM: true, Ext: digit, Dsts: d(rm(4)), Srcs: s(imm(1), tied(0))})
+		add(Template{Op: op, Opc: b(0x81), ModRM: true, Ext: digit, Dsts: d(rm(4)), Srcs: s(imm(4), tied(0))})
+	}
+	arith(OpAdd, 0)
+	arith(OpOr, 1)
+	arith(OpAdc, 2)
+	arith(OpSbb, 3)
+	arith(OpAnd, 4)
+	arith(OpSub, 5)
+	arith(OpXor, 6)
+
+	// cmp follows the same encoding rows (digit 7) but writes no operand:
+	// both operands are sources.
+	cmp := func(opc []byte, modrm bool, extd int8, plusAcc Reg, a, bspec Spec) {
+		tm := Template{Op: OpCmp, Opc: opc, ModRM: modrm, Ext: extd, Srcs: s(a, bspec)}
+		if plusAcc != RegNone {
+			tm.Srcs = s(fixed(plusAcc), bspec)
+		}
+		add(tm)
+	}
+	cmp(b(0x3C), false, 0, AL, Spec{}, imm(1))
+	cmp(b(0x3D), false, 0, EAX, Spec{}, imm(4))
+	cmp(b(0x38), true, -1, RegNone, rm(1), reg(1))
+	cmp(b(0x39), true, -1, RegNone, rm(4), reg(4))
+	cmp(b(0x3A), true, -1, RegNone, reg(1), rm(1))
+	cmp(b(0x3B), true, -1, RegNone, reg(4), rm(4))
+	cmp(b(0x80), true, 7, RegNone, rm(1), imm(1))
+	cmp(b(0x83), true, 7, RegNone, rm(4), imm(1))
+	cmp(b(0x81), true, 7, RegNone, rm(4), imm(4))
+
+	// --- test (sources only, like cmp) ---
+	add(Template{Op: OpTest, Opc: b(0xA8), Srcs: s(fixed(AL), imm(1))})
+	add(Template{Op: OpTest, Opc: b(0xA9), Srcs: s(fixed(EAX), imm(4))})
+	add(Template{Op: OpTest, Opc: b(0x84), ModRM: true, Ext: ext(-1), Srcs: s(rm(1), reg(1))})
+	add(Template{Op: OpTest, Opc: b(0x85), ModRM: true, Ext: ext(-1), Srcs: s(rm(4), reg(4))})
+	add(Template{Op: OpTest, Opc: b(0xF6), ModRM: true, Ext: ext(0), Srcs: s(rm(1), imm(1))})
+	add(Template{Op: OpTest, Opc: b(0xF7), ModRM: true, Ext: ext(0), Srcs: s(rm(4), imm(4))})
+
+	// --- inc / dec / neg / not ---
+	add(Template{Op: OpInc, Opc: b(0x40), PlusReg: true, Dsts: d(rplus(4)), Srcs: s(tied(0))})
+	add(Template{Op: OpInc, Opc: b(0xFE), ModRM: true, Ext: ext(0), Dsts: d(rm(1)), Srcs: s(tied(0))})
+	add(Template{Op: OpInc, Opc: b(0xFF), ModRM: true, Ext: ext(0), Dsts: d(rm(4)), Srcs: s(tied(0))})
+	add(Template{Op: OpDec, Opc: b(0x48), PlusReg: true, Dsts: d(rplus(4)), Srcs: s(tied(0))})
+	add(Template{Op: OpDec, Opc: b(0xFE), ModRM: true, Ext: ext(1), Dsts: d(rm(1)), Srcs: s(tied(0))})
+	add(Template{Op: OpDec, Opc: b(0xFF), ModRM: true, Ext: ext(1), Dsts: d(rm(4)), Srcs: s(tied(0))})
+	add(Template{Op: OpNot, Opc: b(0xF6), ModRM: true, Ext: ext(2), Dsts: d(rm(1)), Srcs: s(tied(0))})
+	add(Template{Op: OpNot, Opc: b(0xF7), ModRM: true, Ext: ext(2), Dsts: d(rm(4)), Srcs: s(tied(0))})
+	add(Template{Op: OpNeg, Opc: b(0xF6), ModRM: true, Ext: ext(3), Dsts: d(rm(1)), Srcs: s(tied(0))})
+	add(Template{Op: OpNeg, Opc: b(0xF7), ModRM: true, Ext: ext(3), Dsts: d(rm(4)), Srcs: s(tied(0))})
+
+	// --- imul (two- and three-operand forms) ---
+	add(Template{Op: OpImul, Opc: b(0x0F, 0xAF), ModRM: true, Ext: ext(-1),
+		Dsts: d(reg(4)), Srcs: s(rm(4), tied(0))})
+	add(Template{Op: OpImul, Opc: b(0x6B), ModRM: true, Ext: ext(-1),
+		Dsts: d(reg(4)), Srcs: s(rm(4), imm(1))})
+	add(Template{Op: OpImul, Opc: b(0x69), ModRM: true, Ext: ext(-1),
+		Dsts: d(reg(4)), Srcs: s(rm(4), imm(4))})
+
+	// --- shifts ---
+	shift := func(op Opcode, digit int8) {
+		add(Template{Op: op, Opc: b(0xC0), ModRM: true, Ext: digit, Dsts: d(rm(1)), Srcs: s(imm(1), tied(0))})
+		add(Template{Op: op, Opc: b(0xC1), ModRM: true, Ext: digit, Dsts: d(rm(4)), Srcs: s(imm(1), tied(0))})
+		add(Template{Op: op, Opc: b(0xD0), ModRM: true, Ext: digit, Dsts: d(rm(1)), Srcs: s(immOne(), tied(0)), DecodeOnly: true})
+		add(Template{Op: op, Opc: b(0xD1), ModRM: true, Ext: digit, Dsts: d(rm(4)), Srcs: s(immOne(), tied(0)), DecodeOnly: true})
+		add(Template{Op: op, Opc: b(0xD2), ModRM: true, Ext: digit, Dsts: d(rm(1)), Srcs: s(fixed(CL), tied(0))})
+		add(Template{Op: op, Opc: b(0xD3), ModRM: true, Ext: digit, Dsts: d(rm(4)), Srcs: s(fixed(CL), tied(0))})
+	}
+	shift(OpShl, 4)
+	shift(OpShr, 5)
+	shift(OpSar, 7)
+	shift(OpRol, 0)
+	shift(OpRor, 1)
+
+	// --- bswap / xadd ---
+	add(Template{Op: OpBswap, Opc: b(0x0F, 0xC8), PlusReg: true,
+		Dsts: d(rplus(4)), Srcs: s(tied(0))})
+	add(Template{Op: OpXadd, Opc: b(0x0F, 0xC0), ModRM: true, Ext: ext(-1),
+		Dsts: d(rm(1), reg(1)), Srcs: s(tied(0), tied(1))})
+	add(Template{Op: OpXadd, Opc: b(0x0F, 0xC1), ModRM: true, Ext: ext(-1),
+		Dsts: d(rm(4), reg(4)), Srcs: s(tied(0), tied(1))})
+
+	// --- control transfer ---
+	add(Template{Op: OpJmp, Opc: b(0xE9), Srcs: s(rel(4))})
+	add(Template{Op: OpJmp, Opc: b(0xEB), Srcs: s(rel(1)), DecodeOnly: true})
+	add(Template{Op: OpJmpInd, Opc: b(0xFF), ModRM: true, Ext: ext(4), Srcs: s(rm(4))})
+	add(Template{Op: OpCall, Opc: b(0xE8),
+		Dsts: d(stackPush(), espImp()), Srcs: s(rel(4), espImp())})
+	add(Template{Op: OpCallInd, Opc: b(0xFF), ModRM: true, Ext: ext(2),
+		Dsts: d(stackPush(), espImp()), Srcs: s(rm(4), espImp())})
+	add(Template{Op: OpRet, Opc: b(0xC3),
+		Dsts: d(espImp()), Srcs: s(stackPop(), espImp())})
+	add(Template{Op: OpRet, Opc: b(0xC2),
+		Dsts: d(espImp()), Srcs: s(imm(2), stackPop(), espImp())})
+	for cc := uint8(0); cc < 16; cc++ {
+		add(Template{Op: Jcc(cc), Opc: b(0x0F, 0x80+cc), Srcs: s(rel(4))})
+		add(Template{Op: Jcc(cc), Opc: b(0x70 + cc), Srcs: s(rel(1)), DecodeOnly: true})
+		// setcc r/m8 (hardware ignores the ModRM reg field; we emit 0
+		// and accept anything on decode).
+		add(Template{Op: Setcc(cc), Opc: b(0x0F, 0x90+cc), ModRM: true, Ext: ext(-1),
+			Dsts: d(rm(1))})
+		// cmovcc r32, r/m32: the destination is also read (kept when the
+		// condition is false).
+		add(Template{Op: Cmovcc(cc), Opc: b(0x0F, 0x40+cc), ModRM: true, Ext: ext(-1),
+			Dsts: d(reg(4)), Srcs: s(rm(4), tied(0))})
+	}
+
+	// --- miscellaneous ---
+	add(Template{Op: OpNop, Opc: b(0x90)})
+	add(Template{Op: OpHlt, Opc: b(0xF4)})
+	add(Template{Op: OpInt, Opc: b(0xCD), Srcs: s(imm(1))})
+
+	return t
+}
+
+// Dispatch tables built from templates at init: decodeTable is indexed by a
+// 16-bit key (first byte, or 0x0F00|second byte for two-byte opcodes) and
+// holds every template reachable from that key; opcodeTemplates groups
+// templates by Opcode for the encoder's search.
+var (
+	decodeTable     [0x1000][]*Template
+	opcodeTemplates [NumOpcodes][]*Template
+)
+
+func decodeKey(opc []byte) int {
+	if opc[0] == 0x0F {
+		return 0x0F00 | int(opc[1])
+	}
+	return int(opc[0])
+}
+
+func init() {
+	for _, tm := range templates {
+		opcodeTemplates[tm.Op] = append(opcodeTemplates[tm.Op], tm)
+		key := decodeKey(tm.Opc)
+		if tm.PlusReg {
+			for r := 0; r < 8; r++ {
+				decodeTable[key+r] = append(decodeTable[key+r], tm)
+			}
+		} else {
+			decodeTable[key] = append(decodeTable[key], tm)
+		}
+	}
+}
+
+// explicitCount returns how many leading specs in list are explicit.
+func explicitCount(list []Spec) int {
+	n := 0
+	for _, sp := range list {
+		if sp.Implicit {
+			break
+		}
+		n++
+	}
+	return n
+}

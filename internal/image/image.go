@@ -1,0 +1,92 @@
+// Package image represents a loaded program: code and data sections at
+// absolute addresses, an entry point, and a symbol table. It is the bridge
+// between the assembler and the simulated machine — the moral equivalent of
+// the unmodified native binaries DynamoRIO operates on.
+package image
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/ia32"
+	"repro/internal/machine"
+)
+
+// DefaultStackTop is where the initial thread's stack begins (growing down)
+// unless the image overrides it.
+const DefaultStackTop uint32 = 0x7FF00000
+
+// Section is a contiguous blob of bytes at an absolute address.
+type Section struct {
+	Addr  uint32
+	Bytes []byte
+}
+
+// Image is a loadable program.
+type Image struct {
+	Name     string
+	Sections []Section
+	Entry    uint32
+	Symbols  map[string]uint32
+	StackTop uint32
+}
+
+// FromProgram converts an assembled program into an image.
+func FromProgram(name string, p *asm.Program) *Image {
+	img := &Image{
+		Name:     name,
+		Entry:    p.Entry,
+		Symbols:  p.Symbols,
+		StackTop: DefaultStackTop,
+	}
+	for _, s := range p.Sections {
+		img.Sections = append(img.Sections, Section{Addr: s.Addr, Bytes: s.Bytes})
+	}
+	return img
+}
+
+// Assemble assembles source and returns the image.
+func Assemble(name, source string) (*Image, error) {
+	p, err := asm.Assemble(source)
+	if err != nil {
+		return nil, fmt.Errorf("image %q: %w", name, err)
+	}
+	return FromProgram(name, p), nil
+}
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(name, source string) *Image {
+	img, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// LoadInto copies the image's sections into memory.
+func (img *Image) LoadInto(mem *machine.Memory) {
+	for _, s := range img.Sections {
+		mem.WriteBytes(s.Addr, s.Bytes)
+	}
+}
+
+// Boot loads the image into m and points the initial thread at the entry
+// with a fresh stack. It is how a "native" run starts; the DynamoRIO runtime
+// instead points the initial thread at its own dispatcher.
+func (img *Image) Boot(m *machine.Machine) *machine.Thread {
+	img.LoadInto(m.Mem)
+	t := m.Threads[0]
+	t.CPU.EIP = img.Entry
+	t.CPU.SetReg(ia32.ESP, img.StackTop)
+	return t
+}
+
+// Symbol returns the address of a symbol, panicking if undefined (images are
+// built from trusted internal sources).
+func (img *Image) Symbol(name string) uint32 {
+	v, ok := img.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("image %q: no symbol %q", img.Name, name))
+	}
+	return v
+}

@@ -1,0 +1,88 @@
+package image_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ia32"
+	"repro/internal/image"
+	"repro/internal/machine"
+)
+
+func TestAssembleAndBoot(t *testing.T) {
+	img, err := image.Assemble("t", `
+.org 0x2000
+main:
+    mov eax, 1
+    mov ebx, 7
+    int 0x80
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != 0x2000 {
+		t.Errorf("entry = %#x", img.Entry)
+	}
+	m := machine.New(machine.PentiumIV())
+	th := img.Boot(m)
+	if th.CPU.EIP != 0x2000 {
+		t.Errorf("EIP = %#x", th.CPU.EIP)
+	}
+	if th.CPU.Reg(ia32.ESP) != image.DefaultStackTop {
+		t.Errorf("ESP = %#x", th.CPU.Reg(ia32.ESP))
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.ExitCode != 7 {
+		t.Errorf("exit = %d", th.ExitCode)
+	}
+}
+
+func TestAssembleError(t *testing.T) {
+	_, err := image.Assemble("bad", "main:\n frobnicate\n")
+	if err == nil || !strings.Contains(err.Error(), `image "bad"`) {
+		t.Errorf("err = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic")
+		}
+	}()
+	image.MustAssemble("bad", "junk(\n")
+}
+
+func TestSymbolLookup(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    nop
+    hlt
+data: .word 5
+`)
+	if img.Symbol("data") <= img.Symbol("main") {
+		t.Error("symbol ordering wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown symbol should panic")
+		}
+	}()
+	img.Symbol("nosuch")
+}
+
+func TestLoadIntoMemory(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    hlt
+.org 0x9000
+v: .word 0x11223344
+`)
+	mem := machine.NewMemory()
+	img.LoadInto(mem)
+	if mem.Read32(img.Symbol("v")) != 0x11223344 {
+		t.Error("data not loaded")
+	}
+	if mem.Read8(img.Entry) != 0xF4 {
+		t.Error("code not loaded")
+	}
+}

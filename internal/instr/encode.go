@@ -1,0 +1,128 @@
+package instr
+
+import (
+	"fmt"
+
+	"repro/internal/ia32"
+)
+
+// needsReencode reports whether the instruction cannot be emitted by copying
+// its raw bytes: it was modified or created (Level 4), or it is a direct
+// control transfer, whose PC-relative displacement changes when the code
+// moves to a new address.
+func (i *Instr) needsReencode() bool {
+	if !i.RawValid() {
+		return true
+	}
+	if i.level <= Level1 {
+		// Peek at the opcode cheaply; bundles never contain CTIs.
+		if i.level == Level0 {
+			return false
+		}
+		i.raise(Level2)
+	}
+	return i.op.IsCTI() && !i.op.IsIndirect()
+}
+
+// encSize returns the exact number of bytes EncodeTo will emit for i.
+func (i *Instr) encSize() (int, error) {
+	if i.needsReencode() {
+		i.raise(Level3)
+		return ia32.EncodedLen(&i.inst)
+	}
+	return len(i.raw), nil
+}
+
+// EncodeWithOffsets is Encode, additionally reporting each instruction's
+// offset from pc — embedders use it to locate exit branches for later
+// patching (linking and unlinking).
+func (l *List) EncodeWithOffsets(pc uint32) ([]byte, map[*Instr]uint32, error) {
+	offs := make(map[*Instr]uint32, l.n)
+	off := uint32(0)
+	for i := l.first; i != nil; i = i.next {
+		offs[i] = off
+		n, err := i.encSize()
+		if err != nil {
+			return nil, nil, fmt.Errorf("instr: sizing %s: %w", i, err)
+		}
+		off += uint32(n)
+	}
+	buf, err := l.EncodeTo(pc, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, offs, nil
+}
+
+// Encode lays the list out at address pc and returns the encoded bytes.
+// Instructions with valid raw bytes are emitted with a bare copy; Level 4
+// instructions and direct CTIs go through the template-matching encoder.
+// Intra-list branch targets (SetTargetInstr) are resolved to their final
+// addresses.
+func (l *List) Encode(pc uint32) ([]byte, error) {
+	return l.EncodeTo(pc, nil)
+}
+
+// EncodeTo is Encode appending to buf.
+func (l *List) EncodeTo(pc uint32, buf []byte) ([]byte, error) {
+	// Pass 1: compute each instruction's offset.
+	offsets := make(map[*Instr]uint32, l.n)
+	off := uint32(0)
+	for i := l.first; i != nil; i = i.next {
+		offsets[i] = off
+		n, err := i.encSize()
+		if err != nil {
+			return nil, fmt.Errorf("instr: sizing %s: %w", i, err)
+		}
+		off += uint32(n)
+	}
+
+	// Pass 2: emit.
+	for i := l.first; i != nil; i = i.next {
+		at := pc + offsets[i]
+		if !i.needsReencode() {
+			buf = append(buf, i.raw...)
+			continue
+		}
+		inst := i.inst
+		if i.target != nil {
+			toff, ok := offsets[i.target]
+			if !ok {
+				return nil, fmt.Errorf("instr: branch target not in list: %s", i)
+			}
+			inst = retarget(inst, pc+toff)
+		}
+		var err error
+		buf, err = ia32.Encode(&inst, at, buf)
+		if err != nil {
+			return nil, fmt.Errorf("instr: encoding %s: %w", i, err)
+		}
+	}
+	return buf, nil
+}
+
+// EncodedLen returns the total encoded size of the list in bytes.
+func (l *List) EncodedLen() (int, error) {
+	total := 0
+	for i := l.first; i != nil; i = i.next {
+		n, err := i.encSize()
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// retarget returns a copy of inst with its PC operand pointing at target.
+func retarget(inst ia32.Inst, target uint32) ia32.Inst {
+	srcs := append([]ia32.Operand(nil), inst.Srcs...)
+	for n, o := range srcs {
+		if o.Kind == ia32.OperandPC {
+			srcs[n] = ia32.PCOp(target)
+			break
+		}
+	}
+	inst.Srcs = srcs
+	return inst
+}

@@ -1,0 +1,269 @@
+package instr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ia32"
+)
+
+// List is the InstrList of the paper: a doubly-linked list of Instrs
+// representing a basic block or trace — a linear stream of code with a
+// single entrance and no internal join points.
+type List struct {
+	first, last *Instr
+	n           int
+}
+
+// NewList returns an empty list, optionally populated with the given
+// instructions.
+func NewList(instrs ...*Instr) *List {
+	l := &List{}
+	for _, i := range instrs {
+		l.Append(i)
+	}
+	return l
+}
+
+// First returns the first instruction, or nil if the list is empty.
+func (l *List) First() *Instr { return l.first }
+
+// Last returns the last instruction, or nil if the list is empty.
+func (l *List) Last() *Instr { return l.last }
+
+// Len returns the number of Instr nodes (a Level 0 bundle counts as one).
+func (l *List) Len() int { return l.n }
+
+// Empty reports whether the list has no instructions.
+func (l *List) Empty() bool { return l.n == 0 }
+
+func (l *List) checkUnlinked(i *Instr) {
+	if i.list != nil {
+		panic("instr: instruction is already in a list")
+	}
+}
+
+// Append adds i at the end of the list.
+func (l *List) Append(i *Instr) *Instr {
+	l.checkUnlinked(i)
+	i.list = l
+	i.prev = l.last
+	i.next = nil
+	if l.last != nil {
+		l.last.next = i
+	} else {
+		l.first = i
+	}
+	l.last = i
+	l.n++
+	return i
+}
+
+// Prepend adds i at the front of the list.
+func (l *List) Prepend(i *Instr) *Instr {
+	l.checkUnlinked(i)
+	i.list = l
+	i.next = l.first
+	i.prev = nil
+	if l.first != nil {
+		l.first.prev = i
+	} else {
+		l.last = i
+	}
+	l.first = i
+	l.n++
+	return i
+}
+
+// InsertBefore inserts i immediately before pos, which must be in the list.
+func (l *List) InsertBefore(pos, i *Instr) *Instr {
+	l.checkOwned(pos)
+	l.checkUnlinked(i)
+	i.list = l
+	i.prev = pos.prev
+	i.next = pos
+	if pos.prev != nil {
+		pos.prev.next = i
+	} else {
+		l.first = i
+	}
+	pos.prev = i
+	l.n++
+	return i
+}
+
+// InsertAfter inserts i immediately after pos, which must be in the list.
+func (l *List) InsertAfter(pos, i *Instr) *Instr {
+	l.checkOwned(pos)
+	l.checkUnlinked(i)
+	i.list = l
+	i.next = pos.next
+	i.prev = pos
+	if pos.next != nil {
+		pos.next.prev = i
+	} else {
+		l.last = i
+	}
+	pos.next = i
+	l.n++
+	return i
+}
+
+// Remove unlinks i from the list and returns it.
+func (l *List) Remove(i *Instr) *Instr {
+	l.checkOwned(i)
+	if i.prev != nil {
+		i.prev.next = i.next
+	} else {
+		l.first = i.next
+	}
+	if i.next != nil {
+		i.next.prev = i.prev
+	} else {
+		l.last = i.prev
+	}
+	i.prev, i.next, i.list = nil, nil, nil
+	l.n--
+	return i
+}
+
+// Replace substitutes nu for old in the list, unlinking old. This is the
+// paper's instrlist_replace, used by the Figure 3 client to swap an inc for
+// an add.
+func (l *List) Replace(old, nu *Instr) {
+	l.InsertBefore(old, nu)
+	l.Remove(old)
+}
+
+func (l *List) checkOwned(i *Instr) {
+	if i.list != l {
+		panic("instr: instruction is not in this list")
+	}
+}
+
+// Clear removes all instructions.
+func (l *List) Clear() {
+	for i := l.first; i != nil; {
+		next := i.next
+		i.prev, i.next, i.list = nil, nil, nil
+		i = next
+	}
+	l.first, l.last, l.n = nil, nil, 0
+}
+
+// AppendList moves every instruction of other to the end of l, leaving
+// other empty.
+func (l *List) AppendList(other *List) {
+	for !other.Empty() {
+		l.Append(other.Remove(other.First()))
+	}
+}
+
+// Instrs iterates from first to last, surviving removal or replacement of
+// the current instruction during iteration (the next pointer is captured
+// before yielding, matching the next_instr idiom of the paper's Figure 3).
+func (l *List) Instrs(yield func(*Instr) bool) {
+	for i := l.first; i != nil; {
+		next := i.next
+		if !yield(i) {
+			return
+		}
+		i = next
+	}
+}
+
+// Expand splits a Level 0 bundle node in place into one Level 1 Instr per
+// machine instruction and returns the first of them. For non-bundle nodes it
+// returns the node unchanged.
+func (l *List) Expand(i *Instr) *Instr {
+	l.checkOwned(i)
+	if i.level != Level0 {
+		return i
+	}
+	raw, pc := i.raw, i.pc
+	pos := i
+	var firstNew *Instr
+	off := 0
+	for off < len(raw) {
+		n, err := ia32.BoundaryLen(raw[off:])
+		if err != nil {
+			panic(fmt.Sprintf("instr: bundle at %#x undecodable: %v", pc, err))
+		}
+		one := FromRaw(raw[off:off+n], pc+uint32(off))
+		l.InsertBefore(pos, one)
+		if firstNew == nil {
+			firstNew = one
+		}
+		off += n
+	}
+	l.Remove(pos)
+	if firstNew == nil {
+		return nil
+	}
+	return firstNew
+}
+
+// ExpandAll expands every Level 0 bundle in the list.
+func (l *List) ExpandAll() {
+	l.Instrs(func(i *Instr) bool {
+		if i.level == Level0 {
+			l.Expand(i)
+		}
+		return true
+	})
+}
+
+// DecodeAll raises every instruction to at least the given level (expanding
+// bundles first if level > 0). DynamoRIO uses DecodeAll(Level3) before
+// running trace optimizations: full information with raw bytes still valid.
+func (l *List) DecodeAll(level Level) {
+	if level > Level0 {
+		l.ExpandAll()
+	}
+	l.Instrs(func(i *Instr) bool {
+		i.raise(level)
+		return true
+	})
+}
+
+// InstrCount returns the number of machine instructions in the list,
+// counting each instruction inside Level 0 bundles (which requires walking
+// their boundaries).
+func (l *List) InstrCount() int {
+	count := 0
+	for i := l.first; i != nil; i = i.next {
+		if i.level != Level0 {
+			count++
+			continue
+		}
+		off := 0
+		for off < len(i.raw) {
+			n, err := ia32.BoundaryLen(i.raw[off:])
+			if err != nil {
+				panic(fmt.Sprintf("instr: bundle at %#x undecodable: %v", i.pc, err))
+			}
+			off += n
+			count++
+		}
+	}
+	return count
+}
+
+// MemUsage returns the approximate memory footprint of the list in bytes.
+func (l *List) MemUsage() int {
+	n := 48 // the List header
+	for i := l.first; i != nil; i = i.next {
+		n += i.MemUsage()
+	}
+	return n
+}
+
+// String disassembles the whole list, one instruction per line, each at its
+// current level of detail.
+func (l *List) String() string {
+	var b strings.Builder
+	for i := l.first; i != nil; i = i.next {
+		fmt.Fprintf(&b, "  %s\n", i)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package instr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestListMatchesReferenceModel drives random edit sequences through List
+// and a plain-slice reference model simultaneously, then compares contents
+// and link structure after every operation.
+func TestListMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewList()
+	var ref []*Instr
+
+	check := func(step int) {
+		t.Helper()
+		if l.Len() != len(ref) {
+			t.Fatalf("step %d: len %d, ref %d", step, l.Len(), len(ref))
+		}
+		if len(ref) == 0 {
+			if l.First() != nil || l.Last() != nil {
+				t.Fatalf("step %d: empty list has ends", step)
+			}
+			return
+		}
+		if l.First() != ref[0] || l.Last() != ref[len(ref)-1] {
+			t.Fatalf("step %d: ends mismatch", step)
+		}
+		i := l.First()
+		for n, want := range ref {
+			if i != want {
+				t.Fatalf("step %d: position %d mismatch", step, n)
+			}
+			// Link consistency.
+			if n > 0 && i.Prev() != ref[n-1] {
+				t.Fatalf("step %d: prev link broken at %d", step, n)
+			}
+			if n < len(ref)-1 && i.Next() != ref[n+1] {
+				t.Fatalf("step %d: next link broken at %d", step, n)
+			}
+			i = i.Next()
+		}
+		if i != nil {
+			t.Fatalf("step %d: list longer than ref", step)
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		op := rng.Intn(7)
+		switch {
+		case op == 0 || len(ref) == 0: // append
+			n := CreateNop()
+			l.Append(n)
+			ref = append(ref, n)
+		case op == 1: // prepend
+			n := CreateNop()
+			l.Prepend(n)
+			ref = append([]*Instr{n}, ref...)
+		case op == 2: // insert before random
+			k := rng.Intn(len(ref))
+			n := CreateNop()
+			l.InsertBefore(ref[k], n)
+			ref = append(ref[:k], append([]*Instr{n}, ref[k:]...)...)
+		case op == 3: // insert after random
+			k := rng.Intn(len(ref))
+			n := CreateNop()
+			l.InsertAfter(ref[k], n)
+			ref = append(ref[:k+1], append([]*Instr{n}, ref[k+1:]...)...)
+		case op == 4: // remove random
+			k := rng.Intn(len(ref))
+			l.Remove(ref[k])
+			ref = append(ref[:k], ref[k+1:]...)
+		case op == 5: // replace random
+			k := rng.Intn(len(ref))
+			n := CreateNop()
+			l.Replace(ref[k], n)
+			ref[k] = n
+		case op == 6: // re-append a removed node (exercises unlink state)
+			k := rng.Intn(len(ref))
+			n := l.Remove(ref[k])
+			ref = append(ref[:k], ref[k+1:]...)
+			l.Append(n)
+			ref = append(ref, n)
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(-1)
+}

@@ -1,0 +1,576 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ia32"
+)
+
+// ea computes the effective address of a memory operand.
+func (m *Machine) ea(c *CPU, o *ia32.Operand) Addr {
+	a := uint32(o.Disp)
+	if o.Base != ia32.RegNone {
+		a += c.R[o.Base.Enc()]
+	}
+	if o.Index != ia32.RegNone {
+		a += c.R[o.Index.Enc()] * uint32(o.Scale)
+	}
+	return a
+}
+
+// readOp reads the value of a source operand (not PC operands).
+func (m *Machine) readOp(t *Thread, o *ia32.Operand) uint32 {
+	switch o.Kind {
+	case ia32.OperandReg:
+		return t.CPU.Reg(o.Reg)
+	case ia32.OperandImm:
+		return uint32(o.Imm)
+	case ia32.OperandMem:
+		a := m.ea(&t.CPU, o)
+		m.Stats.Loads++
+		m.Ticks += m.Profile.LoadExtra
+		switch o.Size {
+		case 1:
+			return uint32(m.Mem.Read8(a))
+		case 2:
+			return uint32(m.Mem.Read16(a))
+		default:
+			return m.Mem.Read32(a)
+		}
+	}
+	panic(fmt.Sprintf("machine: read of operand kind %d", o.Kind))
+}
+
+// writeOp writes v to a destination operand.
+func (m *Machine) writeOp(t *Thread, o *ia32.Operand, v uint32) {
+	switch o.Kind {
+	case ia32.OperandReg:
+		t.CPU.SetReg(o.Reg, v)
+		return
+	case ia32.OperandMem:
+		a := m.ea(&t.CPU, o)
+		m.Stats.Stores++
+		m.Ticks += m.Profile.StoreExtra
+		switch o.Size {
+		case 1:
+			m.Mem.Write8(a, uint8(v))
+		case 2:
+			m.Mem.Write16(a, uint16(v))
+		default:
+			m.Mem.Write32(a, v)
+		}
+		return
+	}
+	panic(fmt.Sprintf("machine: write of operand kind %d", o.Kind))
+}
+
+func signBit(size uint8) uint32 {
+	switch size {
+	case 1:
+		return 0x80
+	case 2:
+		return 0x8000
+	default:
+		return 0x80000000
+	}
+}
+
+func sizeMask(size uint8) uint32 {
+	switch size {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}
+
+// parity returns the IA-32 parity flag value (set if the low byte has an
+// even number of set bits).
+func parity(v uint32) bool {
+	b := uint8(v)
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	return b&1 == 0
+}
+
+// setSZP sets SF, ZF and PF from result r of the given size, clearing the
+// old values.
+func (c *CPU) setSZP(r uint32, size uint8) {
+	c.Eflags &^= ia32.FlagSF | ia32.FlagZF | ia32.FlagPF
+	mask := sizeMask(size)
+	if r&mask == 0 {
+		c.Eflags |= ia32.FlagZF
+	}
+	if r&signBit(size) != 0 {
+		c.Eflags |= ia32.FlagSF
+	}
+	if parity(r) {
+		c.Eflags |= ia32.FlagPF
+	}
+}
+
+// flagsAdd sets all six flags for r = a + b + carryIn.
+func (c *CPU) flagsAdd(a, b, carryIn uint32, size uint8) uint32 {
+	mask := sizeMask(size)
+	a &= mask
+	b &= mask
+	wide := uint64(a) + uint64(b) + uint64(carryIn)
+	r := uint32(wide) & mask
+	c.Eflags &^= ia32.FlagsAll
+	if wide > uint64(mask) {
+		c.Eflags |= ia32.FlagCF
+	}
+	if (^(a ^ b) & (a ^ r) & signBit(size)) != 0 {
+		c.Eflags |= ia32.FlagOF
+	}
+	if (a^b^r)&0x10 != 0 {
+		c.Eflags |= ia32.FlagAF
+	}
+	c.setSZP(r, size)
+	return r
+}
+
+// flagsSub sets all six flags for r = a - b - borrowIn.
+func (c *CPU) flagsSub(a, b, borrowIn uint32, size uint8) uint32 {
+	mask := sizeMask(size)
+	a &= mask
+	b &= mask
+	wide := uint64(a) - uint64(b) - uint64(borrowIn)
+	r := uint32(wide) & mask
+	c.Eflags &^= ia32.FlagsAll
+	if uint64(a) < uint64(b)+uint64(borrowIn) {
+		c.Eflags |= ia32.FlagCF
+	}
+	if ((a ^ b) & (a ^ r) & signBit(size)) != 0 {
+		c.Eflags |= ia32.FlagOF
+	}
+	if (a^b^r)&0x10 != 0 {
+		c.Eflags |= ia32.FlagAF
+	}
+	c.setSZP(r, size)
+	return r
+}
+
+// flagsLogic sets flags for a logical result: CF=OF=AF=0, SZP from r.
+func (c *CPU) flagsLogic(r uint32, size uint8) uint32 {
+	c.Eflags &^= ia32.FlagsAll
+	c.setSZP(r, size)
+	return r & sizeMask(size)
+}
+
+// condHolds evaluates an IA-32 condition code against the flags.
+func condHolds(cc uint8, f uint32) bool {
+	var v bool
+	switch cc >> 1 {
+	case 0: // O
+		v = f&ia32.FlagOF != 0
+	case 1: // B
+		v = f&ia32.FlagCF != 0
+	case 2: // Z
+		v = f&ia32.FlagZF != 0
+	case 3: // BE
+		v = f&(ia32.FlagCF|ia32.FlagZF) != 0
+	case 4: // S
+		v = f&ia32.FlagSF != 0
+	case 5: // P
+		v = f&ia32.FlagPF != 0
+	case 6: // L
+		v = (f&ia32.FlagSF != 0) != (f&ia32.FlagOF != 0)
+	case 7: // LE
+		v = f&ia32.FlagZF != 0 || (f&ia32.FlagSF != 0) != (f&ia32.FlagOF != 0)
+	}
+	if cc&1 != 0 {
+		return !v
+	}
+	return v
+}
+
+// opSizeOf returns the operation size of an instruction from its first
+// explicit operand.
+func opSizeOf(in *ia32.Inst) uint8 {
+	if len(in.Dsts) > 0 {
+		if s := opndSize(&in.Dsts[0]); s != 0 {
+			return s
+		}
+	}
+	if len(in.Srcs) > 0 {
+		if s := opndSize(&in.Srcs[0]); s != 0 {
+			return s
+		}
+	}
+	return 4
+}
+
+func opndSize(o *ia32.Operand) uint8 {
+	switch o.Kind {
+	case ia32.OperandReg:
+		return o.Reg.Size()
+	case ia32.OperandMem:
+		return o.Size
+	}
+	return 0
+}
+
+// exec executes one decoded instruction on t, updating architectural state,
+// the cycle count, predictors and statistics.
+func (m *Machine) exec(t *Thread, in *ia32.Inst) error {
+	c := &t.CPU
+	pc := c.EIP
+	next := pc + Addr(in.Len)
+	m.Stats.Instructions++
+	t.Instret++
+	m.Ticks += m.Profile.OpCost(in.Op) + m.PerInstrOverhead
+
+	switch in.Op {
+	case ia32.OpNop:
+
+	case ia32.OpMov:
+		v := m.readOp(t, &in.Srcs[0])
+		m.writeOp(t, &in.Dsts[0], v)
+
+	case ia32.OpMovzx:
+		v := m.readOp(t, &in.Srcs[0]) & sizeMask(in.Srcs[0].Size)
+		m.writeOp(t, &in.Dsts[0], v)
+
+	case ia32.OpMovsx:
+		src := &in.Srcs[0]
+		v := m.readOp(t, src)
+		if opndSize(src) == 1 {
+			v = uint32(int32(int8(v)))
+		} else {
+			v = uint32(int32(int16(v)))
+		}
+		m.writeOp(t, &in.Dsts[0], v)
+
+	case ia32.OpLea:
+		m.writeOp(t, &in.Dsts[0], m.ea(c, &in.Srcs[0]))
+
+	case ia32.OpXchg:
+		a := m.readOp(t, &in.Dsts[0])
+		b := m.readOp(t, &in.Dsts[1])
+		m.writeOp(t, &in.Dsts[0], b)
+		m.writeOp(t, &in.Dsts[1], a)
+
+	case ia32.OpAdd, ia32.OpAdc:
+		size := opSizeOf(in)
+		carry := uint32(0)
+		if in.Op == ia32.OpAdc && c.Eflags&ia32.FlagCF != 0 {
+			carry = 1
+		}
+		a := m.readOp(t, &in.Dsts[0])
+		b := m.readOp(t, &in.Srcs[0])
+		m.writeOp(t, &in.Dsts[0], c.flagsAdd(a, b, carry, size))
+
+	case ia32.OpSub, ia32.OpSbb:
+		size := opSizeOf(in)
+		borrow := uint32(0)
+		if in.Op == ia32.OpSbb && c.Eflags&ia32.FlagCF != 0 {
+			borrow = 1
+		}
+		a := m.readOp(t, &in.Dsts[0])
+		b := m.readOp(t, &in.Srcs[0])
+		m.writeOp(t, &in.Dsts[0], c.flagsSub(a, b, borrow, size))
+
+	case ia32.OpCmp:
+		size := uint8(4)
+		if s := opndSize(&in.Srcs[0]); s != 0 {
+			size = s
+		}
+		a := m.readOp(t, &in.Srcs[0])
+		b := m.readOp(t, &in.Srcs[1])
+		c.flagsSub(a, b, 0, size)
+
+	case ia32.OpInc, ia32.OpDec:
+		size := opSizeOf(in)
+		a := m.readOp(t, &in.Dsts[0])
+		savedCF := c.Eflags & ia32.FlagCF
+		var r uint32
+		if in.Op == ia32.OpInc {
+			r = c.flagsAdd(a, 1, 0, size)
+		} else {
+			r = c.flagsSub(a, 1, 0, size)
+		}
+		c.Eflags = c.Eflags&^ia32.FlagCF | savedCF // inc/dec preserve CF
+		m.writeOp(t, &in.Dsts[0], r)
+
+	case ia32.OpNeg:
+		size := opSizeOf(in)
+		a := m.readOp(t, &in.Dsts[0])
+		m.writeOp(t, &in.Dsts[0], c.flagsSub(0, a, 0, size))
+
+	case ia32.OpNot:
+		a := m.readOp(t, &in.Dsts[0])
+		m.writeOp(t, &in.Dsts[0], ^a)
+
+	case ia32.OpAnd, ia32.OpTest:
+		size := uint8(4)
+		var a, b uint32
+		if in.Op == ia32.OpAnd {
+			size = opSizeOf(in)
+			a = m.readOp(t, &in.Dsts[0])
+			b = m.readOp(t, &in.Srcs[0])
+		} else {
+			if s := opndSize(&in.Srcs[0]); s != 0 {
+				size = s
+			}
+			a = m.readOp(t, &in.Srcs[0])
+			b = m.readOp(t, &in.Srcs[1])
+		}
+		r := c.flagsLogic(a&b, size)
+		if in.Op == ia32.OpAnd {
+			m.writeOp(t, &in.Dsts[0], r)
+		}
+
+	case ia32.OpOr:
+		a := m.readOp(t, &in.Dsts[0])
+		b := m.readOp(t, &in.Srcs[0])
+		m.writeOp(t, &in.Dsts[0], c.flagsLogic(a|b, opSizeOf(in)))
+
+	case ia32.OpXor:
+		a := m.readOp(t, &in.Dsts[0])
+		b := m.readOp(t, &in.Srcs[0])
+		m.writeOp(t, &in.Dsts[0], c.flagsLogic(a^b, opSizeOf(in)))
+
+	case ia32.OpImul:
+		// Two-operand: dst *= src0. Three-operand: dst = src0 * imm.
+		a := int64(int32(m.readOp(t, &in.Srcs[0])))
+		var b int64
+		if in.Srcs[1].Kind == ia32.OperandImm {
+			b = in.Srcs[1].Imm
+		} else {
+			b = int64(int32(m.readOp(t, &in.Dsts[0])))
+		}
+		wide := a * b
+		r := uint32(wide)
+		c.Eflags &^= ia32.FlagsAll
+		if wide != int64(int32(r)) {
+			c.Eflags |= ia32.FlagCF | ia32.FlagOF
+		}
+		c.setSZP(r, 4)
+		m.writeOp(t, &in.Dsts[0], r)
+
+	case ia32.OpShl, ia32.OpShr, ia32.OpSar:
+		size := opSizeOf(in)
+		amt := m.readOp(t, &in.Srcs[0]) & 31
+		a := m.readOp(t, &in.Dsts[0]) & sizeMask(size)
+		if amt == 0 {
+			m.writeOp(t, &in.Dsts[0], a)
+			break
+		}
+		var r, cf uint32
+		switch in.Op {
+		case ia32.OpShl:
+			r = a << amt
+			cf = (a >> (uint32(size)*8 - amt)) & 1
+		case ia32.OpShr:
+			r = a >> amt
+			cf = (a >> (amt - 1)) & 1
+		default: // sar
+			bits := uint32(size) * 8
+			sa := int32(a<<(32-bits)) >> (32 - bits) // sign-extend to 32 bits
+			r = uint32(sa >> amt)
+			cf = uint32(sa>>(amt-1)) & 1
+		}
+		r &= sizeMask(size)
+		c.Eflags &^= ia32.FlagsAll
+		if cf != 0 {
+			c.Eflags |= ia32.FlagCF
+		}
+		if (a^r)&signBit(size) != 0 {
+			c.Eflags |= ia32.FlagOF
+		}
+		c.setSZP(r, size)
+		m.writeOp(t, &in.Dsts[0], r)
+
+	case ia32.OpRol, ia32.OpRor:
+		size := opSizeOf(in)
+		bits := uint32(size) * 8
+		amt := m.readOp(t, &in.Srcs[0]) & 31 % bits
+		a := m.readOp(t, &in.Dsts[0]) & sizeMask(size)
+		if amt == 0 {
+			m.writeOp(t, &in.Dsts[0], a)
+			break
+		}
+		var r, cf uint32
+		if in.Op == ia32.OpRol {
+			r = (a<<amt | a>>(bits-amt)) & sizeMask(size)
+			cf = r & 1
+		} else {
+			r = (a>>amt | a<<(bits-amt)) & sizeMask(size)
+			cf = r >> (bits - 1) & 1
+		}
+		c.Eflags &^= ia32.FlagCF | ia32.FlagOF
+		if cf != 0 {
+			c.Eflags |= ia32.FlagCF
+		}
+		if (a^r)&signBit(size) != 0 {
+			c.Eflags |= ia32.FlagOF
+		}
+		m.writeOp(t, &in.Dsts[0], r)
+
+	case ia32.OpBswap:
+		a := m.readOp(t, &in.Dsts[0])
+		m.writeOp(t, &in.Dsts[0],
+			a<<24|a>>24|(a&0xff00)<<8|(a>>8)&0xff00)
+
+	case ia32.OpXadd:
+		// xadd rm, r: r gets the old rm value, rm gets the sum.
+		size := opSizeOf(in)
+		a := m.readOp(t, &in.Dsts[0])
+		b := m.readOp(t, &in.Dsts[1])
+		sum := c.flagsAdd(a, b, 0, size)
+		m.writeOp(t, &in.Dsts[1], a)
+		m.writeOp(t, &in.Dsts[0], sum)
+
+	case ia32.OpPush:
+		v := m.readOp(t, &in.Srcs[0])
+		sp := c.R[ia32.ESP.Enc()] - 4
+		c.R[ia32.ESP.Enc()] = sp
+		m.Stats.Stores++
+		m.Ticks += m.Profile.StoreExtra
+		m.Mem.Write32(sp, v)
+
+	case ia32.OpPop:
+		sp := c.R[ia32.ESP.Enc()]
+		m.Stats.Loads++
+		m.Ticks += m.Profile.LoadExtra
+		v := m.Mem.Read32(sp)
+		c.R[ia32.ESP.Enc()] = sp + 4
+		m.writeOp(t, &in.Dsts[0], v)
+
+	case ia32.OpPushfd:
+		sp := c.R[ia32.ESP.Enc()] - 4
+		c.R[ia32.ESP.Enc()] = sp
+		m.Stats.Stores++
+		m.Ticks += m.Profile.StoreExtra
+		m.Mem.Write32(sp, c.Eflags|0x2) // bit 1 always set on IA-32
+
+	case ia32.OpPopfd:
+		sp := c.R[ia32.ESP.Enc()]
+		m.Stats.Loads++
+		m.Ticks += m.Profile.LoadExtra
+		c.Eflags = m.Mem.Read32(sp) & ia32.FlagsAll
+		c.R[ia32.ESP.Enc()] = sp + 4
+
+	case ia32.OpJmp:
+		target, _ := in.Target()
+		m.Stats.TakenBranches++
+		m.Ticks += m.Profile.TakenBranchExtra
+		c.EIP = target
+		return nil
+
+	case ia32.OpJmpInd:
+		target := m.readOp(t, &in.Srcs[0])
+		m.Stats.IndBranches++
+		m.Stats.TakenBranches++
+		m.Ticks += m.Profile.TakenBranchExtra
+		if !t.pred.predictIndirect(pc, target) {
+			m.Stats.IndMispred++
+			m.Ticks += m.Profile.MispredictPenalty
+		}
+		c.EIP = target
+		return nil
+
+	case ia32.OpCall:
+		target, _ := in.Target()
+		sp := c.R[ia32.ESP.Enc()] - 4
+		c.R[ia32.ESP.Enc()] = sp
+		m.Stats.Stores++
+		m.Ticks += m.Profile.StoreExtra
+		m.Mem.Write32(sp, next)
+		t.pred.pushRAS(next)
+		m.Stats.TakenBranches++
+		m.Ticks += m.Profile.TakenBranchExtra
+		c.EIP = target
+		return nil
+
+	case ia32.OpCallInd:
+		target := m.readOp(t, &in.Srcs[0])
+		sp := c.R[ia32.ESP.Enc()] - 4
+		c.R[ia32.ESP.Enc()] = sp
+		m.Stats.Stores++
+		m.Ticks += m.Profile.StoreExtra
+		m.Mem.Write32(sp, next)
+		t.pred.pushRAS(next)
+		m.Stats.IndBranches++
+		m.Stats.TakenBranches++
+		m.Ticks += m.Profile.TakenBranchExtra
+		if !t.pred.predictIndirect(pc, target) {
+			m.Stats.IndMispred++
+			m.Ticks += m.Profile.MispredictPenalty
+		}
+		c.EIP = target
+		return nil
+
+	case ia32.OpRet:
+		sp := c.R[ia32.ESP.Enc()]
+		m.Stats.Loads++
+		m.Ticks += m.Profile.LoadExtra
+		target := m.Mem.Read32(sp)
+		sp += 4
+		if in.Srcs[0].Kind == ia32.OperandImm { // ret imm16
+			sp += uint32(in.Srcs[0].Imm) & 0xffff
+		}
+		c.R[ia32.ESP.Enc()] = sp
+		m.Stats.Rets++
+		m.Stats.TakenBranches++
+		m.Ticks += m.Profile.TakenBranchExtra
+		if !t.pred.predictRet(target) {
+			m.Stats.RetMispred++
+			m.Ticks += m.Profile.MispredictPenalty
+		}
+		c.EIP = target
+		return nil
+
+	case ia32.OpHlt:
+		t.Halted = true
+		return nil
+
+	case ia32.OpInt:
+		vector := uint8(in.Srcs[0].Imm)
+		m.Stats.Syscalls++
+		c.EIP = next
+		return m.syscall(t, vector)
+
+	default:
+		if cc, ok := ia32.SetCondCode(in.Op); ok {
+			v := uint32(0)
+			if condHolds(cc, c.Eflags) {
+				v = 1
+			}
+			m.writeOp(t, &in.Dsts[0], v)
+			break
+		}
+		if cc, ok := ia32.CmovCondCode(in.Op); ok {
+			v := m.readOp(t, &in.Srcs[0])
+			if condHolds(cc, c.Eflags) {
+				m.writeOp(t, &in.Dsts[0], v)
+			}
+			break
+		}
+		if cc, ok := in.Op.CondCode(); ok {
+			target, _ := in.Target()
+			taken := condHolds(cc, c.Eflags)
+			m.Stats.CondBranches++
+			if !t.pred.predictCond(pc, taken) {
+				m.Stats.CondMispred++
+				m.Ticks += m.Profile.MispredictPenalty
+			}
+			if taken {
+				m.Stats.TakenBranches++
+				m.Ticks += m.Profile.TakenBranchExtra
+				c.EIP = target
+			} else {
+				c.EIP = next
+			}
+			return nil
+		}
+		return fmt.Errorf("machine: unimplemented opcode %s at %#x", in.Op, pc)
+	}
+
+	c.EIP = next
+	return nil
+}

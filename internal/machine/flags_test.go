@@ -1,0 +1,328 @@
+package machine_test
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ia32"
+	"repro/internal/image"
+	"repro/internal/machine"
+)
+
+// refFlags is an independent reference model of the arithmetic flags,
+// computed with math/bits rather than the sign-bit algebra the machine
+// uses, so shared bugs are unlikely.
+type refFlags struct {
+	cf, pf, af, zf, sf, of bool
+	result                 uint32
+}
+
+func refParity(v uint32) bool { return bits.OnesCount8(uint8(v))%2 == 0 }
+
+func refAdd(a, b uint32, carry uint32) refFlags {
+	wide := uint64(a) + uint64(b) + uint64(carry)
+	r := uint32(wide)
+	sa, sb, sr := int32(a) < 0, int32(b) < 0, int32(r) < 0
+	return refFlags{
+		cf:     wide>>32 != 0,
+		pf:     refParity(r),
+		af:     (a&0xf)+(b&0xf)+carry > 0xf,
+		zf:     r == 0,
+		sf:     sr,
+		of:     sa == sb && sr != sa,
+		result: r,
+	}
+}
+
+func refSub(a, b uint32, borrow uint32) refFlags {
+	wide := int64(uint64(a)) - int64(uint64(b)) - int64(borrow)
+	r := uint32(wide)
+	sa, sb, sr := int32(a) < 0, int32(b) < 0, int32(r) < 0
+	return refFlags{
+		cf:     wide < 0,
+		pf:     refParity(r),
+		af:     int32(a&0xf)-int32(b&0xf)-int32(borrow) < 0,
+		zf:     r == 0,
+		sf:     sr,
+		of:     sa != sb && sr == sb,
+		result: r,
+	}
+}
+
+func refLogic(r uint32) refFlags {
+	return refFlags{pf: refParity(r), zf: r == 0, sf: int32(r) < 0, result: r}
+}
+
+func (f refFlags) eflags() uint32 {
+	var e uint32
+	if f.cf {
+		e |= ia32.FlagCF
+	}
+	if f.pf {
+		e |= ia32.FlagPF
+	}
+	if f.af {
+		e |= ia32.FlagAF
+	}
+	if f.zf {
+		e |= ia32.FlagZF
+	}
+	if f.sf {
+		e |= ia32.FlagSF
+	}
+	if f.of {
+		e |= ia32.FlagOF
+	}
+	return e
+}
+
+// flagRig executes single instructions on a reusable machine.
+type flagRig struct {
+	m  *machine.Machine
+	th *machine.Thread
+}
+
+const rigPC = 0x1000
+
+func newRig() *flagRig {
+	m := machine.New(machine.PentiumIV())
+	return &flagRig{m: m, th: m.Threads[0]}
+}
+
+// exec runs one instruction with the given initial EAX/EBX and eflags,
+// returning the final EAX and flags.
+func (rg *flagRig) exec(t *testing.T, in ia32.Inst, eax, ebx, eflagsIn uint32) (uint32, uint32) {
+	t.Helper()
+	buf, err := ia32.Encode(&in, rigPC, nil)
+	if err != nil {
+		t.Fatalf("encode %s: %v", &in, err)
+	}
+	rg.m.Mem.WriteBytes(rigPC, buf)
+	rg.th.CPU.EIP = rigPC
+	rg.th.CPU.SetReg(ia32.EAX, eax)
+	rg.th.CPU.SetReg(ia32.EBX, ebx)
+	rg.th.CPU.Eflags = eflagsIn
+	rg.th.Halted = false
+	if err := rg.m.Step(rg.th); err != nil {
+		t.Fatalf("step %s: %v", &in, err)
+	}
+	return rg.th.CPU.Reg(ia32.EAX), rg.th.CPU.Eflags & ia32.FlagsAll
+}
+
+func binInst(op ia32.Opcode) ia32.Inst {
+	dst, src := ia32.RegOp(ia32.EAX), ia32.RegOp(ia32.EBX)
+	return ia32.Inst{Op: op, Dsts: []ia32.Operand{dst}, Srcs: []ia32.Operand{src, dst}}
+}
+
+// TestFlagSemanticsAgainstReference drives random operand values through
+// every flag-setting arithmetic instruction and compares both the result
+// and all six flags against the reference model.
+func TestFlagSemanticsAgainstReference(t *testing.T) {
+	rg := newRig()
+	rng := rand.New(rand.NewSource(42))
+	interesting := []uint32{0, 1, 2, 0x7fffffff, 0x80000000, 0xffffffff, 0xfffffffe, 0x80, 0x7f, 0x8000}
+	val := func() uint32 {
+		if rng.Intn(3) == 0 {
+			return interesting[rng.Intn(len(interesting))]
+		}
+		return rng.Uint32()
+	}
+
+	for i := 0; i < 20000; i++ {
+		a, b := val(), val()
+		cfIn := uint32(rng.Intn(2))
+		eflagsIn := cfIn * ia32.FlagCF
+
+		var in ia32.Inst
+		var want refFlags
+		switch rng.Intn(10) {
+		case 0:
+			in, want = binInst(ia32.OpAdd), refAdd(a, b, 0)
+		case 1:
+			in, want = binInst(ia32.OpAdc), refAdd(a, b, cfIn)
+		case 2:
+			in, want = binInst(ia32.OpSub), refSub(a, b, 0)
+		case 3:
+			in, want = binInst(ia32.OpSbb), refSub(a, b, cfIn)
+		case 4:
+			in = ia32.Inst{Op: ia32.OpCmp, Srcs: []ia32.Operand{ia32.RegOp(ia32.EAX), ia32.RegOp(ia32.EBX)}}
+			want = refSub(a, b, 0)
+			want.result = a // cmp leaves eax alone
+		case 5:
+			in, want = binInst(ia32.OpAnd), refLogic(a&b)
+		case 6:
+			in, want = binInst(ia32.OpOr), refLogic(a|b)
+		case 7:
+			in, want = binInst(ia32.OpXor), refLogic(a^b)
+		case 8:
+			in = ia32.Inst{Op: ia32.OpTest, Srcs: []ia32.Operand{ia32.RegOp(ia32.EAX), ia32.RegOp(ia32.EBX)}}
+			want = refLogic(a & b)
+			want.result = a
+		case 9:
+			dst := ia32.RegOp(ia32.EAX)
+			in = ia32.Inst{Op: ia32.OpNeg, Dsts: []ia32.Operand{dst}, Srcs: []ia32.Operand{dst}}
+			want = refSub(0, a, 0)
+		}
+
+		gotEAX, gotFlags := rg.exec(t, in, a, b, eflagsIn)
+		if gotEAX != want.result {
+			t.Fatalf("%s a=%#x b=%#x cf=%d: result %#x, want %#x",
+				in.Op, a, b, cfIn, gotEAX, want.result)
+		}
+		if gotFlags != want.eflags() {
+			t.Fatalf("%s a=%#x b=%#x cf=%d: flags %#x, want %#x",
+				in.Op, a, b, cfIn, gotFlags, want.eflags())
+		}
+	}
+}
+
+// TestIncDecFlagReference checks inc/dec against the reference: all flags
+// of the matching add/sub except CF, which is preserved from before.
+func TestIncDecFlagReference(t *testing.T) {
+	rg := newRig()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint32()
+		cfIn := uint32(rng.Intn(2)) * ia32.FlagCF
+		dst := ia32.RegOp(ia32.EAX)
+		var in ia32.Inst
+		var want refFlags
+		if rng.Intn(2) == 0 {
+			in = ia32.Inst{Op: ia32.OpInc, Dsts: []ia32.Operand{dst}, Srcs: []ia32.Operand{dst}}
+			want = refAdd(a, 1, 0)
+		} else {
+			in = ia32.Inst{Op: ia32.OpDec, Dsts: []ia32.Operand{dst}, Srcs: []ia32.Operand{dst}}
+			want = refSub(a, 1, 0)
+		}
+		gotEAX, gotFlags := rg.exec(t, in, a, 0, cfIn)
+		if gotEAX != want.result {
+			t.Fatalf("%s %#x: result %#x want %#x", in.Op, a, gotEAX, want.result)
+		}
+		wantFlags := want.eflags()&^ia32.FlagCF | cfIn
+		if gotFlags != wantFlags {
+			t.Fatalf("%s %#x cfIn=%x: flags %#x want %#x", in.Op, a, cfIn, gotFlags, wantFlags)
+		}
+	}
+}
+
+// TestShiftFlagReference checks the shift family's results and CF against
+// a bit-twiddling reference.
+func TestShiftFlagReference(t *testing.T) {
+	rg := newRig()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 8000; i++ {
+		a := rng.Uint32()
+		amt := uint32(rng.Intn(32)) // 0..31
+		dst := ia32.RegOp(ia32.EAX)
+		mk := func(op ia32.Opcode) ia32.Inst {
+			return ia32.Inst{Op: op, Dsts: []ia32.Operand{dst},
+				Srcs: []ia32.Operand{ia32.ImmOp(int64(amt), 1), dst}}
+		}
+		var in ia32.Inst
+		var want uint32
+		var wantCF bool
+		switch rng.Intn(3) {
+		case 0:
+			in, want = mk(ia32.OpShl), a<<amt
+			if amt > 0 {
+				wantCF = a&(1<<(32-amt)) != 0
+			}
+		case 1:
+			in, want = mk(ia32.OpShr), a>>amt
+			if amt > 0 {
+				wantCF = a&(1<<(amt-1)) != 0
+			}
+		case 2:
+			in, want = mk(ia32.OpSar), uint32(int32(a)>>amt)
+			if amt > 0 {
+				wantCF = int32(a)>>(amt-1)&1 != 0
+			}
+		}
+		gotEAX, gotFlags := rg.exec(t, in, a, 0, 0)
+		if gotEAX != want {
+			t.Fatalf("%s %#x by %d: result %#x want %#x", in.Op, a, amt, gotEAX, want)
+		}
+		if amt == 0 {
+			continue // flags unchanged; input flags were 0
+		}
+		if gotCF := gotFlags&ia32.FlagCF != 0; gotCF != wantCF {
+			t.Fatalf("%s %#x by %d: CF %v want %v", in.Op, a, amt, gotCF, wantCF)
+		}
+		if gotZF := gotFlags&ia32.FlagZF != 0; gotZF != (want == 0) {
+			t.Fatalf("%s %#x by %d: ZF wrong", in.Op, a, amt)
+		}
+	}
+}
+
+// TestCondBranchesAgainstFlags checks every conditional against directly
+// computed flag predicates by running jcc over random flag words.
+func TestCondBranchesAgainstFlags(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    hlt
+target:
+    hlt
+`)
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	th := m.Threads[0]
+	rng := rand.New(rand.NewSource(5))
+	const pc = 0x3000
+	target := uint32(0x4000)
+
+	for i := 0; i < 4000; i++ {
+		cc := uint8(rng.Intn(16))
+		flags := uint32(0)
+		for _, f := range []uint32{ia32.FlagCF, ia32.FlagPF, ia32.FlagZF, ia32.FlagSF, ia32.FlagOF} {
+			if rng.Intn(2) == 1 {
+				flags |= f
+			}
+		}
+		in := ia32.Inst{Op: ia32.Jcc(cc), Srcs: []ia32.Operand{ia32.PCOp(target)}}
+		buf := ia32.MustEncode(&in, pc, nil)
+		m.Mem.WriteBytes(pc, buf)
+		th.CPU.EIP = pc
+		th.CPU.Eflags = flags
+		th.Halted = false
+		if err := m.Step(th); err != nil {
+			t.Fatal(err)
+		}
+
+		cf := flags&ia32.FlagCF != 0
+		pf := flags&ia32.FlagPF != 0
+		zf := flags&ia32.FlagZF != 0
+		sf := flags&ia32.FlagSF != 0
+		of := flags&ia32.FlagOF != 0
+		var taken bool
+		switch cc >> 1 {
+		case 0:
+			taken = of
+		case 1:
+			taken = cf
+		case 2:
+			taken = zf
+		case 3:
+			taken = cf || zf
+		case 4:
+			taken = sf
+		case 5:
+			taken = pf
+		case 6:
+			taken = sf != of
+		case 7:
+			taken = zf || sf != of
+		}
+		if cc&1 == 1 {
+			taken = !taken
+		}
+		wantEIP := pc + uint32(len(buf))
+		if taken {
+			wantEIP = target
+		}
+		if th.CPU.EIP != wantEIP {
+			t.Fatalf("%s with flags %#x: EIP %#x, want %#x (taken=%v)",
+				ia32.Jcc(cc), flags, th.CPU.EIP, wantEIP, taken)
+		}
+	}
+}

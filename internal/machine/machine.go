@@ -1,0 +1,316 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ia32"
+)
+
+// TrapBase is the start of the reserved address range whose execution
+// transfers control to registered Go handlers instead of decoding
+// instructions. The DynamoRIO runtime uses traps as its dispatcher entry
+// points: exit stubs end with a jump into this range, which is the "context
+// switch back to DynamoRIO" of the paper's Figure 1.
+const TrapBase Addr = 0xF0000000
+
+// TrapAction tells the machine what to do after a trap handler runs.
+type TrapAction int
+
+// Trap handler results.
+const (
+	TrapContinue TrapAction = iota // continue at the (possibly updated) EIP
+	TrapHalt                       // halt this thread
+)
+
+// TrapFunc handles execution reaching a registered trap address.
+type TrapFunc func(t *Thread) (TrapAction, error)
+
+// SignalInterceptor is invoked when an asynchronous signal is about to be
+// delivered to a thread; it receives the handler address and must arrange
+// for control flow, returning true if it handled delivery (the DynamoRIO
+// runtime intercepts signals this way to keep all code under its control).
+type SignalInterceptor func(t *Thread, handler Addr) bool
+
+// CPU is the architectural state of one thread.
+type CPU struct {
+	R      [8]uint32 // general-purpose registers indexed by ia32 encoding
+	Eflags uint32
+	EIP    Addr
+}
+
+// Reg reads a register of any width.
+func (c *CPU) Reg(r ia32.Reg) uint32 {
+	full := c.R[r.Full().Enc()]
+	switch {
+	case r.Is32():
+		return full
+	case r.Is16():
+		return full & 0xffff
+	case r.IsHigh8():
+		return (full >> 8) & 0xff
+	default:
+		return full & 0xff
+	}
+}
+
+// SetReg writes a register of any width, preserving unwritten bytes.
+func (c *CPU) SetReg(r ia32.Reg, v uint32) {
+	i := r.Full().Enc()
+	switch {
+	case r.Is32():
+		c.R[i] = v
+	case r.Is16():
+		c.R[i] = c.R[i]&0xffff0000 | v&0xffff
+	case r.IsHigh8():
+		c.R[i] = c.R[i]&0xffff00ff | (v&0xff)<<8
+	default:
+		c.R[i] = c.R[i]&0xffffff00 | v&0xff
+	}
+}
+
+// Thread is one simulated thread of execution.
+type Thread struct {
+	ID  int
+	CPU CPU
+
+	Halted   bool
+	ExitCode int32
+
+	// Instret counts instructions retired by this thread.
+	Instret uint64
+
+	pred *predictor
+	m    *Machine
+
+	pendingSignal Addr // handler address, 0 if none
+
+	// Local is free per-thread storage for the embedding runtime (the
+	// dispatcher keeps its per-thread context here).
+	Local any
+}
+
+// Machine glues memory, threads, the cost model and the trap table together.
+type Machine struct {
+	Mem     *Memory
+	Profile *Profile
+
+	Threads []*Thread
+
+	// Ticks is total simulated time across all threads.
+	Ticks Ticks
+
+	// PerInstrOverhead, when nonzero, is added to Ticks for every
+	// instruction executed. It models a pure interpreter's per-instruction
+	// dispatch cost (the emulation row of the paper's Table 1).
+	PerInstrOverhead Ticks
+
+	Stats Stats
+
+	// Output collects bytes written by the write system calls; native and
+	// instrumented runs of the same program must produce identical output
+	// (the transparency check).
+	Output []byte
+
+	traps    map[Addr]TrapFunc
+	nextTrap Addr
+
+	interceptSignal SignalInterceptor
+	spawnHook       spawnHookFunc
+
+	icache  []icEntry // direct-mapped decoded-instruction cache
+	nextTID int
+}
+
+const icacheBits = 17
+
+type icEntry struct {
+	pc Addr
+	ci *cachedInst
+}
+
+// Stats are machine-level event counters.
+type Stats struct {
+	Instructions  uint64
+	Loads         uint64
+	Stores        uint64
+	CondBranches  uint64
+	CondMispred   uint64
+	TakenBranches uint64
+	Rets          uint64
+	RetMispred    uint64
+	IndBranches   uint64
+	IndMispred    uint64
+	Syscalls      uint64
+	SignalsTaken  uint64
+	DecodeMisses  uint64
+}
+
+type cachedInst struct {
+	inst ia32.Inst
+	gen  uint32
+	gen2 uint32 // generation of the second page when the instruction spans one
+	twoP bool
+}
+
+// New returns a machine with the given cost profile and one initial thread.
+func New(p *Profile) *Machine {
+	m := &Machine{
+		Mem:      NewMemory(),
+		Profile:  p,
+		traps:    map[Addr]TrapFunc{},
+		nextTrap: TrapBase,
+		icache:   make([]icEntry, 1<<icacheBits),
+	}
+	m.NewThread()
+	return m
+}
+
+// NewThread adds a thread with zeroed state and returns it.
+func (m *Machine) NewThread() *Thread {
+	t := &Thread{ID: m.nextTID, pred: newPredictor(m.Profile), m: m}
+	m.nextTID++
+	m.Threads = append(m.Threads, t)
+	return t
+}
+
+// Machine returns the owning machine of a thread.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// AllocTrap registers handler at a fresh address in the trap range and
+// returns that address. Jumping to it invokes the handler.
+func (m *Machine) AllocTrap(handler TrapFunc) Addr {
+	a := m.nextTrap
+	m.nextTrap += 16
+	m.traps[a] = handler
+	return a
+}
+
+// SetSignalInterceptor installs fn as the signal delivery interceptor.
+func (m *Machine) SetSignalInterceptor(fn SignalInterceptor) { m.interceptSignal = fn }
+
+// QueueSignal arranges for the thread to receive an asynchronous transfer to
+// handler before its next instruction.
+func (m *Machine) QueueSignal(t *Thread, handler Addr) { t.pendingSignal = handler }
+
+// Charge adds modeled overhead time (runtime work performed conceptually on
+// this machine but implemented in Go, e.g. the dispatcher's hashtable
+// lookup). The modeled constants live in the runtime's options; see
+// DESIGN.md.
+func (m *Machine) Charge(t Ticks) { m.Ticks += t }
+
+// InvalidateICache drops all cached decodes (used sparingly; per-page
+// generations catch ordinary code modification automatically).
+func (m *Machine) InvalidateICache() { m.icache = make([]icEntry, 1<<icacheBits) }
+
+// decode returns the decoded instruction at pc, consulting the decode cache
+// and validating it against the write generations of the page(s) the
+// instruction occupies.
+func (m *Machine) decode(pc Addr) (*cachedInst, error) {
+	e := &m.icache[pc&(1<<icacheBits-1)]
+	if e.pc == pc && e.ci != nil {
+		ci := e.ci
+		if m.Mem.Gen(pc) == ci.gen &&
+			(!ci.twoP || m.Mem.Gen(pc+Addr(ci.inst.Len)-1) == ci.gen2) {
+			return ci, nil
+		}
+	}
+	m.Stats.DecodeMisses++
+	var buf [16]byte
+	bytes := m.Mem.Fetch(pc, buf[:])
+	inst, err := ia32.Decode(bytes, pc)
+	if err != nil {
+		return nil, fmt.Errorf("machine: decode at %#x: %w", pc, err)
+	}
+	ci := &cachedInst{inst: inst, gen: m.Mem.Gen(pc)}
+	end := pc + Addr(inst.Len) - 1
+	if end>>pageShift != pc>>pageShift {
+		ci.twoP = true
+		ci.gen2 = m.Mem.Gen(end)
+	}
+	e.pc, e.ci = pc, ci
+	return ci, nil
+}
+
+// Errors returned by the run loop.
+var (
+	ErrAllHalted = errors.New("machine: all threads halted")
+	ErrLimit     = errors.New("machine: instruction limit reached")
+)
+
+// Step executes a single instruction (or trap, or signal delivery) on t.
+func (m *Machine) Step(t *Thread) error {
+	if t.Halted {
+		return nil
+	}
+	if t.pendingSignal != 0 {
+		m.deliverSignal(t)
+	}
+	pc := t.CPU.EIP
+	if pc >= TrapBase {
+		h, ok := m.traps[pc]
+		if !ok {
+			return fmt.Errorf("machine: thread %d jumped to unregistered trap address %#x", t.ID, pc)
+		}
+		action, err := h(t)
+		if err != nil {
+			return err
+		}
+		if action == TrapHalt {
+			t.Halted = true
+		}
+		return nil
+	}
+	ci, err := m.decode(pc)
+	if err != nil {
+		return err
+	}
+	return m.exec(t, &ci.inst)
+}
+
+// deliverSignal transfers control to the pending handler, either through the
+// registered interceptor or by the default mechanism (push the interrupted
+// EIP and jump to the handler, which returns with ret).
+func (m *Machine) deliverSignal(t *Thread) {
+	h := t.pendingSignal
+	t.pendingSignal = 0
+	m.Stats.SignalsTaken++
+	if m.interceptSignal != nil && m.interceptSignal(t, h) {
+		return
+	}
+	t.CPU.R[ia32.ESP.Enc()] -= 4
+	m.Mem.Write32(t.CPU.R[ia32.ESP.Enc()], t.CPU.EIP)
+	t.CPU.EIP = h
+}
+
+// Run executes threads round-robin (quantum instructions each) until all
+// have halted or limit instructions have been executed in total. A limit of
+// 0 means no limit. It returns ErrLimit if the limit stopped execution.
+func (m *Machine) Run(limit uint64) error {
+	const quantum = 5000
+	executed := uint64(0)
+	for {
+		live := 0
+		for _, t := range m.Threads {
+			if t.Halted {
+				continue
+			}
+			live++
+			for q := 0; q < quantum && !t.Halted; q++ {
+				if limit > 0 && executed >= limit {
+					return ErrLimit
+				}
+				if err := m.Step(t); err != nil {
+					return err
+				}
+				executed++
+			}
+		}
+		if live == 0 {
+			return nil
+		}
+	}
+}
+
+// OutputString returns the program's collected output.
+func (m *Machine) OutputString() string { return string(m.Output) }

@@ -1,0 +1,598 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ia32"
+	"repro/internal/image"
+	"repro/internal/machine"
+)
+
+// run assembles source, boots it on a fresh Pentium 4 machine and runs it to
+// completion, returning the machine.
+func run(t *testing.T, source string) *machine.Machine {
+	t.Helper()
+	img, err := image.Assemble("test", source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	if err := m.Run(2_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+const exitSnippet = `
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+`
+
+func TestExecArithmetic(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, 10
+    add eax, 32        ; 42
+    mov ebx, eax
+    sub ebx, 2         ; 40
+    imul ebx, ebx, 2   ; 80
+    mov ecx, ebx
+    shl ecx, 2         ; 320
+    shr ecx, 1         ; 160
+    xor edx, edx
+    or edx, ecx
+    and edx, 0xff      ; 160
+    mov eax, 3
+    int 0x80           ; print ebx=... wait: prints ebx
+    mov ebx, edx
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	// First print: ebx=80, second: edx->ebx=160.
+	if got := m.OutputString(); got != "80160" {
+		t.Errorf("output = %q, want 80160", got)
+	}
+}
+
+func TestExecFlagsAndBranches(t *testing.T) {
+	m := run(t, `
+main:
+    mov ecx, 5
+    xor eax, eax
+loop:
+    add eax, ecx
+    dec ecx
+    jnz loop
+    mov ebx, eax        ; 15
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	if got := m.OutputString(); got != "15" {
+		t.Errorf("output = %q, want 15", got)
+	}
+}
+
+func TestExecSignedComparisons(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, -5
+    cmp eax, 3
+    jl  less           ; signed: -5 < 3
+    mov ebx, 0
+    jmp done
+less:
+    mov ebx, 1
+done:
+    cmp eax, 3         ; unsigned: 0xfffffffb > 3
+    jb  below
+    add ebx, 2         ; not below
+below:
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	if got := m.OutputString(); got != "3" {
+		t.Errorf("output = %q, want 3 (signed-less and not unsigned-below)", got)
+	}
+}
+
+func TestExecCallRetStack(t *testing.T) {
+	m := run(t, `
+main:
+    mov ebx, 7
+    call double
+    call double
+    mov eax, 3
+    int 0x80           ; 28
+`+exitSnippet+`
+double:
+    add ebx, ebx
+    ret
+`)
+	if got := m.OutputString(); got != "28" {
+		t.Errorf("output = %q, want 28", got)
+	}
+	if m.Stats.RetMispred != 0 {
+		t.Errorf("well-paired returns mispredicted %d times", m.Stats.RetMispred)
+	}
+}
+
+func TestExecMemoryAndAddressing(t *testing.T) {
+	m := run(t, `
+main:
+    mov esi, array
+    xor eax, eax
+    xor ecx, ecx
+sum:
+    add eax, [esi+ecx*4]
+    inc ecx
+    cmp ecx, 4
+    jnz sum
+    mov ebx, eax
+    mov eax, 3
+    int 0x80
+`+exitSnippet+`
+.org 0x8000
+array: .word 10, 20, 30, 40
+`)
+	if got := m.OutputString(); got != "100" {
+		t.Errorf("output = %q, want 100", got)
+	}
+}
+
+func TestExecByteOps(t *testing.T) {
+	m := run(t, `
+main:
+    mov esi, str
+next:
+    mov al, byte [esi]
+    test al, al
+    jz done
+    mov bl, al
+    mov eax, 2
+    int 0x80
+    inc esi
+    jmp next
+done:
+`+exitSnippet+`
+.org 0x8000
+str: .ascii "hello"
+     .byte 0
+`)
+	if got := m.OutputString(); got != "hello" {
+		t.Errorf("output = %q, want hello", got)
+	}
+}
+
+func TestExecHighLowByteRegs(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, 0x11223344
+    mov bl, al          ; 0x44
+    mov cl, ah          ; 0x33
+    movzx ebx, bl
+    movzx ecx, cl
+    add ebx, ecx        ; 0x77
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	if got := m.OutputString(); got != "119" {
+		t.Errorf("output = %q, want 119 (0x77)", got)
+	}
+}
+
+func TestExecMovsxSar(t *testing.T) {
+	m := run(t, `
+main:
+    mov al, -8
+    movsx ebx, al      ; -8
+    sar ebx, 1         ; -4
+    neg ebx            ; 4
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	if got := m.OutputString(); got != "4" {
+		t.Errorf("output = %q, want 4", got)
+	}
+}
+
+func TestExecAdcSbb(t *testing.T) {
+	// 64-bit add via adc: 0xFFFFFFFF + 1 = carry into high word.
+	m := run(t, `
+main:
+    mov eax, 0xffffffff
+    mov edx, 0
+    add eax, 1
+    adc edx, 0
+    mov ebx, edx       ; 1
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	if got := m.OutputString(); got != "1" {
+		t.Errorf("output = %q, want 1", got)
+	}
+}
+
+func TestExecIncPreservesCF(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, 0xffffffff
+    add eax, 1          ; sets CF
+    mov ebx, 0
+    inc ebx             ; must NOT clear CF
+    adc ebx, 0          ; ebx = 1 + CF = 2
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	if got := m.OutputString(); got != "2" {
+		t.Errorf("output = %q, want 2 (inc must preserve CF)", got)
+	}
+}
+
+func TestExecIndirectBranches(t *testing.T) {
+	m := run(t, `
+main:
+    mov ecx, 0
+    mov esi, 0
+dispatch:
+    mov eax, [table+esi*4]
+    jmp eax
+case0:
+    add ecx, 1
+    jmp next
+case1:
+    add ecx, 10
+    jmp next
+next:
+    inc esi
+    cmp esi, 2
+    jnz dispatch
+    mov ebx, ecx
+    mov eax, 3
+    int 0x80
+`+exitSnippet+`
+.org 0x8000
+table: .word case0, case1
+`)
+	if got := m.OutputString(); got != "11" {
+		t.Errorf("output = %q, want 11", got)
+	}
+	if m.Stats.IndBranches < 2 {
+		t.Errorf("indirect branches = %d, want >= 2", m.Stats.IndBranches)
+	}
+}
+
+func TestExecPushPopFlags(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, 1
+    add eax, 0x7fffffff  ; overflow: OF set
+    pushfd
+    mov ebx, 0
+    add ebx, 0           ; clears OF
+    popfd
+    jo  overflow
+    mov ebx, 0
+    jmp out
+overflow:
+    mov ebx, 1
+out:
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	if got := m.OutputString(); got != "1" {
+		t.Errorf("output = %q, want 1 (popfd must restore OF)", got)
+	}
+}
+
+func TestExecWriteMemSyscall(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, 4
+    mov ebx, msg
+    mov ecx, 5
+    int 0x80
+`+exitSnippet+`
+.org 0x8000
+msg: .ascii "tests"
+`)
+	if got := m.OutputString(); got != "tests" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, 1
+    mov ebx, 42
+    int 0x80
+`)
+	if m.Threads[0].ExitCode != 42 {
+		t.Errorf("exit code = %d, want 42", m.Threads[0].ExitCode)
+	}
+	if !m.Threads[0].Halted {
+		t.Error("thread should be halted")
+	}
+}
+
+func TestThreadsSpawn(t *testing.T) {
+	m := run(t, `
+main:
+    mov eax, 5
+    mov ebx, worker
+    mov ecx, 0x100000   ; worker stack
+    int 0x80
+    mov ecx, 0
+wait:
+    mov eax, [flag]
+    test eax, eax
+    jz wait
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+worker:
+    mov dword [flag], 1
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+.org 0x9000
+flag: .word 0
+`)
+	if len(m.Threads) != 2 {
+		t.Fatalf("threads = %d, want 2", len(m.Threads))
+	}
+	for _, th := range m.Threads {
+		if !th.Halted {
+			t.Errorf("thread %d not halted", th.ID)
+		}
+	}
+}
+
+func TestTrapHandlers(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    mov eax, [target]
+    jmp eax
+back:
+    mov eax, 1
+    mov ebx, 9
+    int 0x80
+.org 0x8000
+target: .word 0
+`)
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	fired := 0
+	trap := m.AllocTrap(func(th *machine.Thread) (machine.TrapAction, error) {
+		fired++
+		th.CPU.EIP = img.Symbol("back")
+		return machine.TrapContinue, nil
+	})
+	m.Mem.Write32(img.Symbol("target"), trap)
+	if err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("trap fired %d times, want 1", fired)
+	}
+	if m.Threads[0].ExitCode != 9 {
+		t.Errorf("exit = %d, want 9", m.Threads[0].ExitCode)
+	}
+}
+
+func TestUnregisteredTrapErrors(t *testing.T) {
+	m := machine.New(machine.PentiumIV())
+	m.Threads[0].CPU.EIP = machine.TrapBase + 0x100
+	err := m.Run(10)
+	if err == nil || !strings.Contains(err.Error(), "unregistered trap") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSignalDefaultDelivery(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    mov ecx, 100000
+spin:
+    dec ecx
+    jnz spin
+    mov eax, 3
+    mov ebx, [hits]
+    int 0x80
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+handler:
+    inc dword [hits]
+    ret
+.org 0x8000
+hits: .word 0
+`)
+	m := machine.New(machine.PentiumIV())
+	th := img.Boot(m)
+	m.QueueSignal(th, img.Symbol("handler"))
+	if err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OutputString(); got != "1" {
+		t.Errorf("output = %q, want 1 (handler ran once)", got)
+	}
+	if m.Stats.SignalsTaken != 1 {
+		t.Errorf("signals taken = %d", m.Stats.SignalsTaken)
+	}
+}
+
+func TestSignalInterceptor(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    nop
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+`)
+	m := machine.New(machine.PentiumIV())
+	th := img.Boot(m)
+	intercepted := false
+	m.SetSignalInterceptor(func(t2 *machine.Thread, h machine.Addr) bool {
+		intercepted = true
+		return true // swallow it
+	})
+	m.QueueSignal(th, 0xdead)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if !intercepted {
+		t.Error("interceptor not called")
+	}
+}
+
+func TestPredictorEffects(t *testing.T) {
+	// A loop branch is predictable; cycles must reflect few mispredicts.
+	m := run(t, `
+main:
+    mov ecx, 10000
+loop:
+    dec ecx
+    jnz loop
+`+exitSnippet)
+	if m.Stats.CondBranches < 10000 {
+		t.Fatalf("cond branches = %d", m.Stats.CondBranches)
+	}
+	if m.Stats.CondMispred > 10 {
+		t.Errorf("mispredicts = %d, want just warmup misses", m.Stats.CondMispred)
+	}
+}
+
+func TestRetMispredictWhenUnpaired(t *testing.T) {
+	// A ret whose address was pushed manually (no call) defeats the RAS.
+	m := run(t, `
+main:
+    mov ecx, 100
+loop:
+    push target
+    ret                 ; pops the pushed address: RAS mismatch
+target:
+    dec ecx
+    jnz loop
+`+exitSnippet)
+	if m.Stats.RetMispred < 90 {
+		t.Errorf("ret mispredicts = %d, want ~100", m.Stats.RetMispred)
+	}
+}
+
+func TestTicksAdvance(t *testing.T) {
+	m := run(t, `
+main:
+    mov ecx, 1000
+l:  dec ecx
+    jnz l
+`+exitSnippet)
+	if m.Ticks == 0 {
+		t.Fatal("no time passed")
+	}
+	cpi := float64(m.Ticks) / machine.TicksPerCycle / float64(m.Stats.Instructions)
+	if cpi < 0.5 || cpi > 4 {
+		t.Errorf("CPI = %.2f, outside plausible range", cpi)
+	}
+}
+
+func TestIncSlowerThanAddOnP4Only(t *testing.T) {
+	// Compare inc/inc against an equivalent add/add program on both
+	// profiles. (Using inc twice keeps instruction counts equal.)
+	incSrc := `
+main:
+    mov ecx, 10000
+l:  inc eax
+    inc eax
+    dec ecx
+    jnz l
+` + exitSnippet
+	addSrc := `
+main:
+    mov ecx, 10000
+l:  add eax, 1
+    add eax, 1
+    dec ecx
+    jnz l
+` + exitSnippet
+	runOn := func(p *machine.Profile, src string) machine.Ticks {
+		img := image.MustAssemble("t", src)
+		m := machine.New(p)
+		img.Boot(m)
+		if err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return m.Ticks
+	}
+	p4inc := runOn(machine.PentiumIV(), incSrc)
+	p4add := runOn(machine.PentiumIV(), addSrc)
+	if p4add >= p4inc {
+		t.Errorf("P4: add-1 (%d) should beat inc (%d)", p4add, p4inc)
+	}
+	p3inc := runOn(machine.PentiumIII(), incSrc)
+	p3add := runOn(machine.PentiumIII(), addSrc)
+	if p3inc >= p3add {
+		t.Errorf("P3: inc (%d) should beat add-1 (%d)", p3inc, p3add)
+	}
+}
+
+func TestSelfModifyingCodeInvalidation(t *testing.T) {
+	// Overwrite an instruction in the loop body and observe the change:
+	// the decoded-instruction cache must notice the write.
+	m := run(t, `
+main:
+    mov ecx, 2
+    mov ebx, 0
+loop:
+    add ebx, 1          ; will be patched to add ebx,2 (83 C3 02)
+    mov byte [loop+2], 2
+    dec ecx
+    jnz loop
+    mov eax, 3
+    int 0x80
+`+exitSnippet)
+	// First iteration adds 1, then the byte patch makes it add 2.
+	if got := m.OutputString(); got != "3" {
+		t.Errorf("output = %q, want 3 (1 then 2)", got)
+	}
+}
+
+func TestCPURegisterWidths(t *testing.T) {
+	var c machine.CPU
+	c.SetReg(ia32.EAX, 0xAABBCCDD)
+	if c.Reg(ia32.AL) != 0xDD || c.Reg(ia32.AH) != 0xCC || c.Reg(ia32.AX) != 0xCCDD {
+		t.Error("sub-register reads wrong")
+	}
+	c.SetReg(ia32.AH, 0x11)
+	if c.Reg(ia32.EAX) != 0xAABB11DD {
+		t.Errorf("AH write = %#x", c.Reg(ia32.EAX))
+	}
+	c.SetReg(ia32.AL, 0x22)
+	if c.Reg(ia32.EAX) != 0xAABB1122 {
+		t.Errorf("AL write = %#x", c.Reg(ia32.EAX))
+	}
+	c.SetReg(ia32.AX, 0x3344)
+	if c.Reg(ia32.EAX) != 0xAABB3344 {
+		t.Errorf("AX write = %#x", c.Reg(ia32.EAX))
+	}
+}
+
+func TestMemoryPageCrossing(t *testing.T) {
+	mem := machine.NewMemory()
+	base := uint32(0x1FFFE) // near a 64K page boundary
+	mem.Write32(base, 0xDEADBEEF)
+	if mem.Read32(base) != 0xDEADBEEF {
+		t.Error("cross-page 32-bit rw failed")
+	}
+	mem.Write16(0xFFFF, 0x1234)
+	if mem.Read16(0xFFFF) != 0x1234 {
+		t.Error("cross-page 16-bit rw failed")
+	}
+	b := mem.ReadBytes(base-2, 8)
+	if b[2] != 0xEF || b[5] != 0xDE {
+		t.Errorf("ReadBytes = % x", b)
+	}
+}

@@ -1,0 +1,170 @@
+// Package machine implements the simulated IA-32 subset machine that stands
+// in for the paper's real Pentium hardware: a flat 32-bit address space, the
+// architectural register and eflags state, an interpreter for fully decoded
+// instructions, pluggable Pentium 3 / Pentium 4 cost profiles, and branch
+// predictor models (bimodal conditional predictor, return-address stack,
+// last-target indirect predictor).
+//
+// Execution time is accounted in ticks (quarter cycles), so that sub-cycle
+// cost differences — such as inc versus add 1 on different
+// microarchitectures — can be expressed with integer arithmetic. All of the
+// overheads the paper analyses (context switches, hashtable lookups,
+// indirect-branch mispredictions, taken-branch layout penalties) arise from
+// instructions this machine actually executes; see DESIGN.md for the short
+// list of modeled constants.
+package machine
+
+import "fmt"
+
+// Addr is a 32-bit simulated machine address.
+type Addr = uint32
+
+const (
+	pageShift = 16
+	pageSize  = 1 << pageShift
+	pageCount = 1 << (32 - pageShift)
+)
+
+// PageSize is the granularity of write-generation tracking (see Gen); it is
+// the unit at which embedders can detect code modification.
+const PageSize Addr = pageSize
+
+type page struct {
+	bytes [pageSize]byte
+	// gen counts writes to the page; the decoded-instruction cache uses
+	// it to detect self-modifying code (fragment replacement writes into
+	// the simulated code cache).
+	gen uint32
+}
+
+// Memory is a sparse paged 32-bit address space. Pages are allocated on
+// first touch; reads of untouched memory return zero after allocating, and
+// the machine's page-fault policy is handled at a higher level (the subset
+// programs are trusted, so stray accesses simply read zeros).
+type Memory struct {
+	pages [pageCount]*page
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return &Memory{} }
+
+func (m *Memory) pageFor(a Addr) *page {
+	p := m.pages[a>>pageShift]
+	if p == nil {
+		p = &page{}
+		m.pages[a>>pageShift] = p
+	}
+	return p
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(a Addr) uint8 {
+	return m.pageFor(a).bytes[a&(pageSize-1)]
+}
+
+// Read16 reads a little-endian 16-bit value.
+func (m *Memory) Read16(a Addr) uint16 {
+	if a&(pageSize-1) <= pageSize-2 {
+		p := m.pageFor(a)
+		o := a & (pageSize - 1)
+		return uint16(p.bytes[o]) | uint16(p.bytes[o+1])<<8
+	}
+	return uint16(m.Read8(a)) | uint16(m.Read8(a+1))<<8
+}
+
+// Read32 reads a little-endian 32-bit value.
+func (m *Memory) Read32(a Addr) uint32 {
+	if a&(pageSize-1) <= pageSize-4 {
+		p := m.pageFor(a)
+		o := a & (pageSize - 1)
+		return uint32(p.bytes[o]) | uint32(p.bytes[o+1])<<8 |
+			uint32(p.bytes[o+2])<<16 | uint32(p.bytes[o+3])<<24
+	}
+	return uint32(m.Read16(a)) | uint32(m.Read16(a+2))<<16
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(a Addr, v uint8) {
+	p := m.pageFor(a)
+	p.bytes[a&(pageSize-1)] = v
+	p.gen++
+}
+
+// Write16 writes a little-endian 16-bit value.
+func (m *Memory) Write16(a Addr, v uint16) {
+	m.Write8(a, uint8(v))
+	m.Write8(a+1, uint8(v>>8))
+}
+
+// Write32 writes a little-endian 32-bit value.
+func (m *Memory) Write32(a Addr, v uint32) {
+	if a&(pageSize-1) <= pageSize-4 {
+		p := m.pageFor(a)
+		o := a & (pageSize - 1)
+		p.bytes[o] = byte(v)
+		p.bytes[o+1] = byte(v >> 8)
+		p.bytes[o+2] = byte(v >> 16)
+		p.bytes[o+3] = byte(v >> 24)
+		p.gen++
+		return
+	}
+	m.Write16(a, uint16(v))
+	m.Write16(a+2, uint16(v>>16))
+}
+
+// WriteBytes copies b into memory starting at a.
+func (m *Memory) WriteBytes(a Addr, b []byte) {
+	for len(b) > 0 {
+		p := m.pageFor(a)
+		o := a & (pageSize - 1)
+		n := copy(p.bytes[o:], b)
+		p.gen++
+		b = b[n:]
+		a += Addr(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at a into a fresh slice.
+func (m *Memory) ReadBytes(a Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := m.pageFor(a + Addr(i))
+		o := (a + Addr(i)) & (pageSize - 1)
+		c := copy(out[i:], p.bytes[o:])
+		i += c
+	}
+	return out
+}
+
+// Fetch fills buf with bytes starting at a (for instruction decode) and
+// returns the slice. It avoids allocation for the common in-page case.
+func (m *Memory) Fetch(a Addr, buf []byte) []byte {
+	o := a & (pageSize - 1)
+	p := m.pageFor(a)
+	if int(o)+len(buf) <= pageSize {
+		return p.bytes[o : int(o)+len(buf)]
+	}
+	for i := range buf {
+		buf[i] = m.Read8(a + Addr(i))
+	}
+	return buf
+}
+
+// Gen returns the write-generation of the page containing a.
+func (m *Memory) Gen(a Addr) uint32 {
+	if p := m.pages[a>>pageShift]; p != nil {
+		return p.gen
+	}
+	return 0
+}
+
+// String summarizes allocated pages (debugging aid).
+func (m *Memory) String() string {
+	n := 0
+	for _, p := range m.pages {
+		if p != nil {
+			n++
+		}
+	}
+	return fmt.Sprintf("Memory{%d pages, %d KiB}", n, n*pageSize/1024)
+}

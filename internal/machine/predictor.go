@@ -1,0 +1,87 @@
+package machine
+
+// predictor models the branch prediction machinery of one hardware thread:
+// a table of 2-bit saturating counters for conditional branches, a
+// return-address stack for call/return pairs, and a last-target table (BTB)
+// for indirect jumps and calls.
+//
+// The asymmetry between the return-address stack and the last-target table
+// is what the paper's Section 5 discusses: the Pentium predicts returns very
+// well, but a code-cache system that translates returns into indirect jumps
+// loses access to that predictor and eats last-target mispredictions
+// instead.
+type predictor struct {
+	cond     []uint8 // 2-bit counters
+	condMask uint32
+
+	ras    []Addr
+	rasTop int // number of valid entries
+
+	btb     []Addr
+	btbMask uint32
+}
+
+func newPredictor(p *Profile) *predictor {
+	condSize := uint32(1) << p.CondBits
+	btbSize := uint32(1) << p.BTBBits
+	pr := &predictor{
+		cond:     make([]uint8, condSize),
+		condMask: condSize - 1,
+		ras:      make([]Addr, p.RASDepth),
+		btb:      make([]Addr, btbSize),
+		btbMask:  btbSize - 1,
+	}
+	// Weakly taken initial state.
+	for i := range pr.cond {
+		pr.cond[i] = 2
+	}
+	return pr
+}
+
+func condIndex(pc Addr) uint32 { return pc>>2 ^ pc>>12 }
+
+// predictCond records the outcome of a conditional branch at pc and reports
+// whether the predictor got it right.
+func (pr *predictor) predictCond(pc Addr, taken bool) bool {
+	i := condIndex(pc) & pr.condMask
+	c := pr.cond[i]
+	predicted := c >= 2
+	if taken {
+		if c < 3 {
+			pr.cond[i] = c + 1
+		}
+	} else if c > 0 {
+		pr.cond[i] = c - 1
+	}
+	return predicted == taken
+}
+
+// pushRAS records a call's return address.
+func (pr *predictor) pushRAS(ret Addr) {
+	if pr.rasTop == len(pr.ras) {
+		// Overflow: discard the oldest entry.
+		copy(pr.ras, pr.ras[1:])
+		pr.rasTop--
+	}
+	pr.ras[pr.rasTop] = ret
+	pr.rasTop++
+}
+
+// predictRet pops the return-address stack and reports whether it matches
+// the actual target.
+func (pr *predictor) predictRet(target Addr) bool {
+	if pr.rasTop == 0 {
+		return false
+	}
+	pr.rasTop--
+	return pr.ras[pr.rasTop] == target
+}
+
+// predictIndirect consults and updates the last-target table for an
+// indirect jump or call at pc, reporting whether the prediction was correct.
+func (pr *predictor) predictIndirect(pc, target Addr) bool {
+	i := (pc >> 2) & pr.btbMask
+	hit := pr.btb[i] == target
+	pr.btb[i] = target
+	return hit
+}

@@ -1,0 +1,139 @@
+package machine
+
+import "repro/internal/ia32"
+
+// Ticks measures simulated time in quarter cycles. Four ticks are one cycle
+// of the simulated processor; sub-cycle resolution lets the cost tables
+// express differences like inc versus add 1 without floating point.
+type Ticks uint64
+
+// TicksPerCycle converts between ticks and cycles.
+const TicksPerCycle = 4
+
+// Cycles converts ticks to whole cycles (rounding down).
+func (t Ticks) Cycles() uint64 { return uint64(t) / TicksPerCycle }
+
+// Family identifies the simulated processor generation, as returned by the
+// API's processor-identification routine (the paper's proc_get_family).
+type Family int
+
+// Processor families.
+const (
+	FamilyPentium3 Family = 6  // P6 microarchitecture
+	FamilyPentium4 Family = 15 // NetBurst microarchitecture
+)
+
+// Profile is the cost model of one processor: per-opcode execution costs,
+// memory-operand surcharges, and branch machinery parameters. Two concrete
+// profiles are provided, modeled loosely on the Pentium 3 and the Pentium 4
+// Xeon of the paper's evaluation; the properties the paper's optimizations
+// exploit are preserved:
+//
+//   - On the Pentium 4, inc/dec are slower than add 1/sub 1 (partial-flags
+//     merge in the double-pumped ALU); on the Pentium 3 the opposite holds.
+//   - Mispredictions are far more expensive on the Pentium 4's long
+//     pipeline.
+//   - Returns enjoy a return-address-stack predictor, but indirect jumps
+//     have only a last-target predictor — the asymmetry that penalizes a
+//     code cache that turns returns into indirect jumps.
+type Profile struct {
+	Name   string
+	Family Family
+
+	opCost [ia32.NumOpcodes]Ticks
+
+	// LoadExtra/StoreExtra are added per memory source/destination
+	// operand (beyond the opcode base cost).
+	LoadExtra  Ticks
+	StoreExtra Ticks
+
+	// TakenBranchExtra models the fetch bubble of a taken branch; it is
+	// the layout cost that traces recover by straightening code.
+	TakenBranchExtra Ticks
+
+	// MispredictPenalty is the pipeline refill cost of a mispredicted
+	// branch.
+	MispredictPenalty Ticks
+
+	// RAS/BTB/conditional predictor geometry.
+	RASDepth     int
+	BTBBits      uint  // log2 of last-target table entries
+	CondBits     uint  // log2 of 2-bit counter table entries
+	HashtableHit Ticks // unused by the machine; documented for reference
+}
+
+func baseCosts() [ia32.NumOpcodes]Ticks {
+	var c [ia32.NumOpcodes]Ticks
+	for op := ia32.Opcode(0); op < ia32.NumOpcodes; op++ {
+		c[op] = 4 // default: one cycle
+	}
+	c[ia32.OpImul] = 16 // 4 cycles
+	c[ia32.OpPush] = 4
+	c[ia32.OpPop] = 4
+	c[ia32.OpPushfd] = 8
+	c[ia32.OpPopfd] = 16
+	c[ia32.OpCall] = 8
+	c[ia32.OpCallInd] = 8
+	c[ia32.OpRet] = 8
+	c[ia32.OpInt] = 40
+	c[ia32.OpXchg] = 8
+	return c
+}
+
+// PentiumIII returns the Pentium 3 cost profile.
+func PentiumIII() *Profile {
+	p := &Profile{
+		Name:              "PentiumIII",
+		Family:            FamilyPentium3,
+		opCost:            baseCosts(),
+		LoadExtra:         8, // 2 cycles to L1
+		StoreExtra:        4,
+		TakenBranchExtra:  4,  // 1 cycle fetch bubble
+		MispredictPenalty: 44, // ~11 cycles
+		RASDepth:          16,
+		BTBBits:           9,
+		CondBits:          12,
+	}
+	// On the P6 core inc/dec are single-uop and marginally cheaper than
+	// add/sub with an immediate.
+	p.opCost[ia32.OpInc] = 4
+	p.opCost[ia32.OpDec] = 4
+	p.opCost[ia32.OpAdd] = 5
+	p.opCost[ia32.OpSub] = 5
+	return p
+}
+
+// PentiumIV returns the Pentium 4 cost profile (the paper's evaluation
+// machine is a 2.2 GHz Pentium 4 Xeon).
+func PentiumIV() *Profile {
+	p := &Profile{
+		Name:              "PentiumIV",
+		Family:            FamilyPentium4,
+		opCost:            baseCosts(),
+		LoadExtra:         8,
+		StoreExtra:        4,
+		TakenBranchExtra:  4,
+		MispredictPenalty: 80, // ~20 cycles on the long NetBurst pipeline
+		RASDepth:          16,
+		BTBBits:           10,
+		CondBits:          12,
+	}
+	// NetBurst: inc/dec suffer a partial-flags merge; add/sub with an
+	// immediate run in the fast double-pumped ALU.
+	p.opCost[ia32.OpInc] = 12
+	p.opCost[ia32.OpDec] = 12
+	p.opCost[ia32.OpAdd] = 4
+	p.opCost[ia32.OpSub] = 4
+	p.opCost[ia32.OpShl] = 8 // shifts are slow on NetBurst
+	p.opCost[ia32.OpShr] = 8
+	p.opCost[ia32.OpSar] = 8
+	// Flag-consuming data moves are multi-uop on NetBurst.
+	for cc := uint8(0); cc < 16; cc++ {
+		p.opCost[ia32.Setcc(cc)] = 8
+		p.opCost[ia32.Cmovcc(cc)] = 8
+	}
+	return p
+}
+
+// OpCost returns the base cost of executing op.
+func (p *Profile) OpCost(op ia32.Opcode) Ticks { return p.opCost[op] }

@@ -1,0 +1,64 @@
+package machine
+
+import "fmt"
+
+// System-call numbers for the simulated OS, invoked with int 0x80 and the
+// call number in EAX. The interface is deliberately tiny: enough for the
+// synthetic benchmarks to produce verifiable output (used to check that a
+// program behaves identically natively and under the code-cache runtime) and
+// to exercise multithreading.
+const (
+	SysExit      = 1 // ebx = exit code; halts the calling thread
+	SysWriteChar = 2 // bl = byte to append to the machine's output
+	SysWriteU32  = 3 // ebx = value, written in decimal
+	SysWriteMem  = 4 // ebx = address, ecx = length
+	SysSpawn     = 5 // ebx = entry pc, ecx = stack top; eax <- thread id
+	SysYield     = 6 // hint; no architectural effect
+)
+
+// SyscallVector is the interrupt vector used for system calls.
+const SyscallVector = 0x80
+
+func (m *Machine) syscall(t *Thread, vector uint8) error {
+	if vector != SyscallVector {
+		return fmt.Errorf("machine: int %#x is not a system call vector", vector)
+	}
+	c := &t.CPU
+	switch c.R[0] { // eax
+	case SysExit:
+		t.ExitCode = int32(c.R[3]) // ebx
+		t.Halted = true
+	case SysWriteChar:
+		m.Output = append(m.Output, byte(c.R[3]))
+	case SysWriteU32:
+		m.Output = append(m.Output, []byte(fmt.Sprintf("%d", c.R[3]))...)
+	case SysWriteMem:
+		addr, n := c.R[3], c.R[1] // ebx, ecx
+		if n > 1<<20 {
+			return fmt.Errorf("machine: SysWriteMem length %d too large", n)
+		}
+		m.Output = append(m.Output, m.Mem.ReadBytes(addr, int(n))...)
+	case SysSpawn:
+		nt := m.NewThread()
+		nt.CPU.EIP = c.R[3]    // ebx: entry
+		nt.CPU.R[4] = c.R[1]   // ecx -> esp
+		c.R[0] = uint32(nt.ID) // eax <- tid
+		if m.spawnHook != nil {
+			m.spawnHook(nt)
+		}
+	case SysYield:
+		// Scheduling is round-robin regardless; nothing to do.
+	default:
+		return fmt.Errorf("machine: unknown system call %d", c.R[0])
+	}
+	return nil
+}
+
+// spawnHook lets the embedding runtime intercept creation of new threads so
+// it can route them through its own dispatch (thread-private code caches
+// need per-thread setup).
+type spawnHookFunc func(t *Thread)
+
+// SetSpawnHook installs fn to be called for every thread created by
+// SysSpawn.
+func (m *Machine) SetSpawnHook(fn func(t *Thread)) { m.spawnHook = fn }

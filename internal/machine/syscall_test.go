@@ -1,0 +1,145 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/machine"
+)
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	img, err := image.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	return m.Run(100000)
+}
+
+func TestSyscallErrors(t *testing.T) {
+	// Unknown system call number.
+	err := runErr(t, `
+main:
+    mov eax, 999
+    int 0x80
+`)
+	if err == nil || !strings.Contains(err.Error(), "unknown system call") {
+		t.Errorf("unknown syscall: %v", err)
+	}
+
+	// Non-syscall interrupt vector.
+	err = runErr(t, `
+main:
+    int 0x21
+`)
+	if err == nil || !strings.Contains(err.Error(), "not a system call vector") {
+		t.Errorf("bad vector: %v", err)
+	}
+
+	// Oversized SysWriteMem.
+	err = runErr(t, `
+main:
+    mov eax, 4
+    mov ebx, 0
+    mov ecx, 0x10000000
+    int 0x80
+`)
+	if err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Errorf("oversized write: %v", err)
+	}
+}
+
+func TestSysYieldIsHarmless(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    mov eax, 6
+    int 0x80
+    mov eax, 1
+    mov ebx, 5
+    int 0x80
+`)
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Threads[0].ExitCode != 5 {
+		t.Errorf("exit = %d", m.Threads[0].ExitCode)
+	}
+}
+
+func TestRunInstructionLimit(t *testing.T) {
+	img := image.MustAssemble("t", `
+main:
+    jmp main
+`)
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	err := m.Run(1000)
+	if err != machine.ErrLimit {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	if m.Stats.Instructions > 1100 {
+		t.Errorf("ran %d instructions past the limit", m.Stats.Instructions)
+	}
+}
+
+func TestRASDeepRecursionOverflow(t *testing.T) {
+	// Recursion deeper than the 16-entry return-address stack: the
+	// predictor mispredicts the overflowed frames but execution is
+	// correct.
+	img := image.MustAssemble("t", `
+main:
+    mov eax, 40         ; depth beyond the RAS
+    call down
+    mov ebx, eax
+    mov eax, 3
+    int 0x80
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+down:
+    test eax, eax
+    jz bottom
+    dec eax
+    call down
+    inc eax
+bottom:
+    ret
+`)
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OutputString(); got != "40" {
+		t.Errorf("output = %q, want 40", got)
+	}
+	if m.Stats.RetMispred == 0 {
+		t.Error("deep recursion should overflow the RAS and mispredict")
+	}
+	if m.Stats.RetMispred > 30 {
+		t.Errorf("mispredicts = %d; shallow frames should still predict", m.Stats.RetMispred)
+	}
+}
+
+func TestStepHaltedThreadIsNoop(t *testing.T) {
+	m := machine.New(machine.PentiumIV())
+	th := m.Threads[0]
+	th.Halted = true
+	if err := m.Step(th); err != nil {
+		t.Errorf("step on halted thread: %v", err)
+	}
+}
+
+func TestUndecodableApplicationCode(t *testing.T) {
+	m := machine.New(machine.PentiumIV())
+	m.Mem.WriteBytes(0x1000, []byte{0x0F, 0x0B}) // not in the subset
+	m.Threads[0].CPU.EIP = 0x1000
+	if err := m.Step(m.Threads[0]); err == nil {
+		t.Error("want decode error")
+	}
+}

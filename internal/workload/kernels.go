@@ -1,0 +1,595 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file is the kernel library: parameterized generators for the code
+// patterns whose mix defines each synthetic benchmark's behavioural
+// signature. All labels and data symbols are namespaced by the kernel name;
+// kernels are callable routines that clobber every register except ESP and
+// accumulate their results into [checksum].
+
+// stencil models compiled floating-point loop nests (mgrid, swim, applu...):
+// tight loops over arrays in which the compiler, starved of registers,
+// reloads the same locations repeatedly — the headroom that redundant load
+// removal converts into the paper's 40% mgrid win. redundancy controls how
+// many reloads of already-loaded values each iteration performs.
+func stencil(name string, elems, redundancy int) *kernel {
+	var b strings.Builder
+	// Register roles mimic register-starved compiler output: ESI is the
+	// induction pointer, EBX the accumulator, EAX/EDX hold the first
+	// loads of a[i] and a[i+1] (and stay live), and EDI is the scratch
+	// register every "spilled" recomputation reloads through. Half the
+	// redundant loads reload into the register already holding the value
+	// (fully removable), half into the scratch register (rewritable to a
+	// register move).
+	fmt.Fprintf(&b, `
+%[1]s:
+    mov esi, %[1]s_a
+    mov ecx, %[2]d
+    xor ebx, ebx
+%[1]s_loop:
+    mov eax, [esi]
+    mov edx, [esi+4]
+    add ebx, eax
+    add ebx, edx
+`, name, elems)
+	for i := 0; i < redundancy; i++ {
+		fmt.Fprintf(&b, `
+    mov eax, [esi]
+    add ebx, eax
+    mov edi, [esi+4]
+    add ebx, edi
+    mov edi, [esi]
+    add ebx, edi
+    mov edx, [esi+4]
+    add ebx, edx
+`)
+	}
+	fmt.Fprintf(&b, `
+    mov [esi+8], ebx
+    add esi, 4
+    dec ecx
+    jnz %[1]s_loop
+    add [checksum], ebx
+    ret
+`, name)
+
+	rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+	vals := make([]string, elems+8)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", rng.Intn(1000))
+	}
+	data := fmt.Sprintf("%s_a: .word %s\n", name, strings.Join(vals, ", "))
+	return &kernel{entry: name, code: b.String(), data: data}
+}
+
+// incloop models counter-dense integer code (gzip, bzip2 inner loops):
+// inc/dec instructions whose CF preservation is dead, the target of the
+// inc→add strength reduction.
+func incloop(name string, iters int) *kernel {
+	code := fmt.Sprintf(`
+%[1]s:
+    mov ecx, %[2]d
+    xor eax, eax
+    xor edx, edx
+    xor edi, edi
+%[1]s_loop:
+    inc eax
+    inc edx
+    inc edi
+    inc eax
+    dec edx
+    inc edi
+    add eax, 3
+    dec ecx
+    jnz %[1]s_loop
+    add [checksum], eax
+    add [checksum], edi
+    ret
+`, name, iters)
+	return &kernel{entry: name, code: code}
+}
+
+// dispatchKind selects the target pattern of a dispatch kernel.
+type dispatchKind int
+
+const (
+	// dispatchBiased goes to case 0 seven times out of eight: a single
+	// inlined trace target captures most of it.
+	dispatchBiased dispatchKind = iota
+	// dispatchRotating cycles over four cases: the inlined target misses
+	// most of the time and only dispatch chains help.
+	dispatchRotating
+	// dispatchScattered pseudo-randomly selects among all cases.
+	dispatchScattered
+)
+
+// dispatch models interpreter-style indirect jumps through a jump table
+// (perlbmk's opcode loop, gcc's RTL walkers, crafty's move generator): the
+// hashtable-lookup pressure that the adaptive indirect branch dispatch
+// client attacks.
+func dispatch(name string, ncases, iters int, kind dispatchKind) *kernel {
+	if ncases&(ncases-1) != 0 {
+		panic("dispatch: ncases must be a power of two")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+%[1]s:
+    mov ecx, %[2]d
+    mov esi, 12345
+    xor edx, edx
+%[1]s_loop:
+`, name, iters)
+	switch kind {
+	case dispatchBiased:
+		// Seven of eight go to case 0; the misses rotate over the
+		// next four cases (a compact hot set, as real branch-target
+		// profiles have).
+		fmt.Fprintf(&b, `
+    xor eax, eax
+    test ecx, 7
+    jnz %[1]s_pick
+    mov eax, ecx
+    shr eax, 3
+    and eax, 3
+    add eax, 1
+    and eax, %[2]d
+%[1]s_pick:
+`, name, ncases-1)
+	case dispatchRotating:
+		fmt.Fprintf(&b, `
+    mov eax, ecx
+    and eax, %d
+`, ncases-1)
+	case dispatchScattered:
+		fmt.Fprintf(&b, `
+    imul esi, esi, 69069
+    add esi, 1
+    mov eax, esi
+    shr eax, 16
+    and eax, %d
+`, ncases-1)
+	}
+	fmt.Fprintf(&b, `
+    mov eax, [%[1]s_tbl+eax*4]
+    jmp eax
+`, name)
+	cases := make([]string, ncases)
+	for i := 0; i < ncases; i++ {
+		cases[i] = fmt.Sprintf("%s_c%d", name, i)
+		fmt.Fprintf(&b, `
+%s_c%d:
+    add edx, %d
+    xor edi, edx
+    jmp %s_next
+`, name, i, i*3+1, name)
+	}
+	fmt.Fprintf(&b, `
+%[1]s_next:
+    dec ecx
+    jnz %[1]s_loop
+    add [checksum], edx
+    add [checksum], edi
+    ret
+`, name)
+	data := fmt.Sprintf("%s_tbl: .word %s\n", name, strings.Join(cases, ", "))
+	return &kernel{entry: name, code: b.String(), data: data}
+}
+
+// calls models call/return-dense code (eon, parser, vortex): small leaf
+// functions invoked from several call sites, so the default trace scheme's
+// inlined return target keeps missing — the pattern custom traces fix.
+// sites is the number of distinct call sites per loop iteration; depth adds
+// nested calls under each leaf.
+func calls(name string, iters, sites, depth int) *kernel {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+%[1]s:
+    mov ecx, %[2]d
+    xor edx, edx
+%[1]s_loop:
+`, name, iters)
+	nleaf := 2
+	for i := 0; i < sites; i++ {
+		fmt.Fprintf(&b, "    call %s_f%d\n", name, i%nleaf)
+	}
+	fmt.Fprintf(&b, `
+    dec ecx
+    jnz %[1]s_loop
+    add [checksum], edx
+    ret
+`, name)
+	for f := 0; f < nleaf; f++ {
+		fmt.Fprintf(&b, "\n%s_f%d:\n    add edx, %d\n", name, f, f*5+3)
+		if depth > 0 {
+			fmt.Fprintf(&b, "    call %s_g%d\n", name, f)
+		}
+		fmt.Fprintf(&b, "    ret\n")
+	}
+	if depth > 0 {
+		for f := 0; f < nleaf; f++ {
+			fmt.Fprintf(&b, "\n%s_g%d:\n    xor edx, %d\n    add edx, 7\n    ret\n",
+				name, f, f*9+1)
+		}
+	}
+	return &kernel{entry: name, code: b.String()}
+}
+
+// funcptr models virtual-call-style indirect calls through a function table
+// (eon's C++ dispatch, gap's interpreter).
+func funcptr(name string, nfuncs, iters int, biased bool) *kernel {
+	if nfuncs&(nfuncs-1) != 0 {
+		panic("funcptr: nfuncs must be a power of two")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+%[1]s:
+    mov ecx, %[2]d
+    mov esi, 999
+    xor edx, edx
+%[1]s_loop:
+`, name, iters)
+	if biased {
+		// Three of four calls hit function 0; misses alternate between
+		// two other functions — a compact hot set a short dispatch
+		// chain can capture.
+		fmt.Fprintf(&b, `
+    xor eax, eax
+    test ecx, 3
+    jnz %[1]s_pick
+    mov eax, ecx
+    shr eax, 2
+    and eax, 1
+    add eax, 1
+%[1]s_pick:
+`, name)
+	} else {
+		fmt.Fprintf(&b, `
+    mov eax, ecx
+    and eax, %d
+`, nfuncs-1)
+	}
+	fmt.Fprintf(&b, `
+    call [%[1]s_tbl+eax*4]
+    dec ecx
+    jnz %[1]s_loop
+    add [checksum], edx
+    ret
+`, name)
+	funcs := make([]string, nfuncs)
+	for i := 0; i < nfuncs; i++ {
+		funcs[i] = fmt.Sprintf("%s_v%d", name, i)
+		fmt.Fprintf(&b, "\n%s_v%d:\n    add edx, %d\n    xor edx, %d\n    ret\n",
+			name, i, i*7+2, i+1)
+	}
+	data := fmt.Sprintf("%s_tbl: .word %s\n", name, strings.Join(funcs, ", "))
+	return &kernel{entry: name, code: b.String(), data: data}
+}
+
+// chase models pointer-chasing codes (mcf, twolf data structures): a
+// statically built linked list walked repeatedly.
+func chase(name string, nodes, iters int) *kernel {
+	code := fmt.Sprintf(`
+%[1]s:
+    mov ecx, %[2]d
+    xor edx, edx
+%[1]s_restart:
+    mov eax, %[1]s_n0
+%[1]s_walk:
+    add edx, [eax]
+    mov eax, [eax+4]
+    test eax, eax
+    jnz %[1]s_walk
+    dec ecx
+    jnz %[1]s_restart
+    add [checksum], edx
+    ret
+`, name, iters)
+
+	// A scrambled visiting order, terminated by a null next pointer.
+	rng := rand.New(rand.NewSource(int64(len(name)) * 104729))
+	order := rng.Perm(nodes)
+	next := make([]string, nodes)
+	for i := 0; i < nodes-1; i++ {
+		next[order[i]] = fmt.Sprintf("%s_n%d", name, order[i+1])
+	}
+	next[order[nodes-1]] = "0"
+	var d strings.Builder
+	// Node 0 must be the walk's entry.
+	if order[0] != 0 {
+		// Rotate so the entry label is n0: simplest is to relabel —
+		// point the walk at the first node in visiting order instead.
+		d.WriteString("")
+	}
+	for i := 0; i < nodes; i++ {
+		fmt.Fprintf(&d, "%s_n%d: .word %d, %s\n", name, i, rng.Intn(100), next[i])
+	}
+	k := &kernel{entry: name, code: code, data: d.String()}
+	// Fix the entry to the true head of the chain.
+	k.code = strings.Replace(k.code, name+"_n0\n", fmt.Sprintf("%s_n%d\n", name, order[0]), 1)
+	return k
+}
+
+// stringScan models byte-oriented scanning loops (gzip, parser): movzx
+// loads, character-class compares, unpredictable data-dependent branches.
+func stringScan(name string, length, iters int) *kernel {
+	code := fmt.Sprintf(`
+%[1]s:
+    mov ecx, %[2]d
+    xor edx, edx
+%[1]s_again:
+    mov esi, %[1]s_s
+%[1]s_scan:
+    movzx eax, byte [esi]
+    test eax, eax
+    jz %[1]s_done
+    cmp eax, 'a'
+    jl %[1]s_skip
+    add edx, eax
+    jmp %[1]s_cont
+%[1]s_skip:
+    xor edx, eax
+%[1]s_cont:
+    inc esi
+    jmp %[1]s_scan
+%[1]s_done:
+    dec ecx
+    jnz %[1]s_again
+    add [checksum], edx
+    ret
+`, name, iters)
+
+	rng := rand.New(rand.NewSource(int64(len(name)) * 31337))
+	chars := make([]byte, length)
+	for i := range chars {
+		chars[i] = byte('0' + rng.Intn(74)) // '0'..'z'-ish
+	}
+	data := fmt.Sprintf("%s_s: .ascii %q\n    .byte 0\n", name, string(chars))
+	return &kernel{entry: name, code: code, data: data}
+}
+
+// matmul models dense multiply-accumulate kernels (art, equake, sixtrack):
+// imul-heavy inner loops with regular access patterns.
+func matmul(name string, n, iters int) *kernel {
+	rng := rand.New(rand.NewSource(int64(len(name)) * 65537))
+	vals := func() string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%d", rng.Intn(50))
+		}
+		return strings.Join(out, ", ")
+	}
+	code := fmt.Sprintf(`
+%[1]s:
+    mov ecx, %[2]d
+%[1]s_o:
+    xor esi, esi
+    xor edx, edx
+%[1]s_i:
+    mov eax, [%[1]s_a+esi*4]
+    imul eax, [%[1]s_b+esi*4]
+    add edx, eax
+    mov eax, [%[1]s_a+esi*4]
+    add edx, eax
+    inc esi
+    cmp esi, %[3]d
+    jl %[1]s_i
+    dec ecx
+    jnz %[1]s_o
+    add [checksum], edx
+    ret
+`, name, iters, n)
+	data := fmt.Sprintf("%s_a: .word %s\n%s_b: .word %s\n", name, vals(), name, vals())
+	return &kernel{entry: name, code: code, data: data}
+}
+
+// branchy models evaluation-function code (crafty, twolf, vpr): cascades of
+// data-dependent conditionals computed from a pseudo-random stream, hard on
+// the conditional predictor.
+func branchy(name string, iters, cascades int) *kernel {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+%[1]s:
+    mov ecx, %[2]d
+    mov esi, 777
+    xor edx, edx
+%[1]s_loop:
+    imul esi, esi, 1103515245
+    add esi, 12345
+    mov eax, esi
+    shr eax, 11
+`, name, iters)
+	for i := 0; i < cascades; i++ {
+		fmt.Fprintf(&b, `
+    test eax, %[1]d
+    jz %[2]s_s%[3]d
+    add edx, %[4]d
+    jmp %[2]s_j%[3]d
+%[2]s_s%[3]d:
+    sub edx, %[5]d
+%[2]s_j%[3]d:
+`, 1<<uint(i), name, i, i*2+1, i+3)
+	}
+	fmt.Fprintf(&b, `
+    dec ecx
+    jnz %[1]s_loop
+    add [checksum], edx
+    ret
+`, name)
+	return &kernel{entry: name, code: b.String()}
+}
+
+// sprawl models large-footprint, low-reuse code (gcc, perlbmk): many unique
+// functions, each with a short private loop, executed for one phase and
+// never again. Fragment-construction and optimization overheads cannot be
+// amortized — the signature behind those benchmarks' Figure 5 slowdowns.
+func sprawl(name string, nfuncs, bodyOps int, seed int64) *kernel {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%s:\n", name)
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&b, "    call %s_u%d\n", name, i)
+	}
+	fmt.Fprintf(&b, "    ret\n")
+	ops := []string{
+		"    add edx, %d\n",
+		"    xor edx, %d\n",
+		"    add eax, %d\n",
+		"    sub eax, %d\n",
+		"    inc eax\n",
+		"    dec edx\n",
+		"    shl eax, 1\n",
+		"    shr edx, 1\n",
+		"    lea eax, [eax+edx*2+%d]\n",
+		"    imul eax, eax, %d\n",
+	}
+	emitBody := func(n int) {
+		for j := 0; j < n; j++ {
+			op := ops[rng.Intn(len(ops))]
+			if strings.Contains(op, "%d") {
+				fmt.Fprintf(&b, op, rng.Intn(97)+1)
+			} else {
+				b.WriteString(op)
+			}
+		}
+	}
+	// One function in eight is hot — a real loop that runs long enough to
+	// become a trace. The rest are straight-line code executed only as
+	// often as the phase driver calls them: the fragment-construction
+	// overhead has almost nothing to amortize over.
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&b, "\n%s_u%d:\n    xor eax, eax\n    xor edx, edx\n", name, i)
+		if i%8 == 0 {
+			fmt.Fprintf(&b, "    mov ecx, 200\n%s_u%dl:\n", name, i)
+			emitBody(4 + rng.Intn(4))
+			fmt.Fprintf(&b, "    dec ecx\n    jnz %s_u%dl\n", name, i)
+		} else {
+			emitBody(bodyOps + rng.Intn(5))
+		}
+		fmt.Fprintf(&b, "    add [checksum], eax\n    ret\n")
+	}
+	return &kernel{entry: name, code: b.String()}
+}
+
+// crc models table-driven checksum loops (gzip's crc32, bzip2's block CRC):
+// byte loads, xors, rotates and byte swapping in a tight dependency chain.
+func crc(name string, length, iters int) *kernel {
+	rng := rand.New(rand.NewSource(int64(len(name)) * 13579))
+	data := make([]byte, length)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	tbl := make([]string, 64)
+	for i := range tbl {
+		tbl[i] = fmt.Sprintf("%d", rng.Uint32())
+	}
+	code := fmt.Sprintf(`
+%[1]s:
+    mov ecx, %[2]d
+    mov edx, 0xffffffff
+%[1]s_again:
+    mov esi, %[1]s_d
+    mov edi, %[3]d
+%[1]s_byte:
+    movzx eax, byte [esi]
+    xor eax, edx
+    and eax, 63
+    mov eax, [%[1]s_t+eax*4]
+    ror edx, 8
+    xor edx, eax
+    inc esi
+    dec edi
+    jnz %[1]s_byte
+    dec ecx
+    jnz %[1]s_again
+    bswap edx
+    add [checksum], edx
+    ret
+`, name, iters, length)
+	dataStr := fmt.Sprintf("%s_t: .word %s\n%s_d:", name, strings.Join(tbl, ", "), name)
+	for i, b := range data {
+		if i%16 == 0 {
+			dataStr += "\n    .byte "
+		} else {
+			dataStr += ", "
+		}
+		dataStr += fmt.Sprintf("%d", b)
+	}
+	dataStr += "\n"
+	return &kernel{entry: name, code: code, data: dataStr}
+}
+
+// selects models branchless selection code (clamping, min/max reductions)
+// compiled with cmov/setcc — common in art's winner-take-all search and
+// twolf's cost comparisons. No conditional branches: pressure goes to the
+// ALU, not the predictor.
+func selects(name string, elems, iters int) *kernel {
+	rng := rand.New(rand.NewSource(int64(len(name)) * 2468))
+	vals := make([]string, elems)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", rng.Intn(100000))
+	}
+	code := fmt.Sprintf(`
+%[1]s:
+    mov ecx, %[2]d
+%[1]s_o:
+    xor esi, esi
+    xor ebx, ebx        ; running max
+    xor edi, edi        ; count of new maxima
+%[1]s_i:
+    mov eax, [%[1]s_v+esi*4]
+    cmp eax, ebx
+    cmovnle ebx, eax    ; branchless max
+    setnle dl
+    movzx edx, dl
+    add edi, edx        ; count improvements without branching
+    inc esi
+    cmp esi, %[3]d
+    jl %[1]s_i
+    dec ecx
+    jnz %[1]s_o
+    add [checksum], ebx
+    add [checksum], edi
+    ret
+`, name, iters, elems)
+	data := fmt.Sprintf("%s_v: .word %s\n", name, strings.Join(vals, ", "))
+	return &kernel{entry: name, code: code, data: data}
+}
+
+// alu is a plain, predictable integer loop: filler compute (vpr's placement
+// math, ammp's force loops) with moderate memory traffic.
+func alu(name string, iters int) *kernel {
+	code := fmt.Sprintf(`
+%[1]s:
+    mov ecx, %[2]d
+    xor eax, eax
+    mov esi, 3
+%[1]s_loop:
+    add eax, esi
+    lea esi, [esi+esi*2+1]
+    and esi, 0xffff
+    test ecx, 1
+    jz %[1]s_even
+    mov [%[1]s_t], eax
+    add eax, [%[1]s_t]
+%[1]s_even:
+    shr eax, 1
+    dec ecx
+    jnz %[1]s_loop
+    add [checksum], eax
+    ret
+`, name, iters)
+	data := fmt.Sprintf("%s_t: .word 0\n", name)
+	return &kernel{entry: name, code: code, data: data}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

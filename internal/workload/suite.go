@@ -1,0 +1,241 @@
+package workload
+
+// The synthetic SPEC CPU2000 suite (excluding the Fortran 90 benchmarks, as
+// the paper does): every registration documents the behavioural signature
+// being modeled, which is what determines the benchmark's bars in the
+// paper's Table 1 and Figure 5. Parameters are tuned so each program
+// executes a few million instructions — large enough to amortize (or fail
+// to amortize, for the low-reuse programs) runtime overheads the way the
+// real benchmarks do.
+
+func init() {
+	// ---------------- SPECint 2000 ----------------
+
+	register("gzip", ClassInt,
+		"byte-stream scanning with counter-dense compression loops: "+
+			"inc/dec headroom for strength reduction, few indirect branches",
+		func() *program {
+			return newProgram(60).
+				add(stringScan("gz_scan", 256, 4)).
+				add(incloop("gz_count", 900)).
+				add(crc("gz_crc", 64, 4))
+		})
+
+	register("vpr", ClassInt,
+		"placement/routing arithmetic: predictable loops, moderate "+
+			"branching, almost no indirect branches (the easy Table 1 column)",
+		func() *program {
+			return newProgram(70).
+				add(alu("vpr_place", 900)).
+				add(branchy("vpr_try", 350, 3)).
+				add(calls("vpr_route", 60, 2, 0)).
+				add(incloop("vpr_cnt", 250))
+		})
+
+	register("gcc", ClassInt,
+		"huge code footprint, little reuse: many unique routines run for "+
+			"one short phase each — fragment construction and optimization "+
+			"time cannot be amortized (Figure 5 slowdown case)",
+		func() *program {
+			p := newProgram(25).
+				add(sprawl("gcc_p1", 160, 14, 101)).
+				add(sprawl("gcc_p2", 160, 14, 202)).
+				add(sprawl("gcc_p3", 160, 14, 303)).
+				add(dispatch("gcc_rtl", 16, 150, dispatchScattered))
+			p.phases = 4
+			return p
+		})
+
+	register("mcf", ClassInt,
+		"pointer-chasing over network simplex data structures: "+
+			"load-latency bound, small hot code",
+		func() *program {
+			return newProgram(55).
+				add(chase("mcf_arcs", 96, 24)).
+				add(alu("mcf_cost", 400))
+		})
+
+	register("crafty", ClassInt,
+		"chess search: rich indirect branches (move dispatch), deep "+
+			"call chains, hard-to-predict evaluation branches (the hard "+
+			"Table 1 column)",
+		func() *program {
+			return newProgram(55).
+				add(dispatch("cr_gen", 8, 500, dispatchBiased)).
+				add(branchy("cr_eval", 700, 4)).
+				add(calls("cr_attack", 140, 2, 0))
+		})
+
+	register("parser", ClassInt,
+		"dictionary lookups and recursive linkage checks: string scans "+
+			"plus call/return density",
+		func() *program {
+			return newProgram(55).
+				add(stringScan("pa_dict", 192, 4)).
+				add(calls("pa_link", 110, 2, 0)).
+				add(chase("pa_list", 48, 10))
+		})
+
+	register("eon", ClassInt,
+		"C++ ray tracing: virtual dispatch (indirect calls) and small "+
+			"methods invoked from many sites — custom traces' best case",
+		func() *program {
+			return newProgram(55).
+				add(funcptr("eo_shade", 8, 400, true)).
+				add(calls("eo_trace", 120, 2, 0)).
+				add(alu("eo_vec", 600))
+		})
+
+	register("perlbmk", ClassInt,
+		"bytecode interpreter with rotating opcode dispatch across a "+
+			"large footprint run in short phases (the other Figure 5 "+
+			"slowdown case)",
+		func() *program {
+			p := newProgram(25).
+				add(sprawl("pl_c1", 150, 14, 404)).
+				add(sprawl("pl_c2", 150, 14, 505)).
+				add(dispatch("pl_ops", 16, 200, dispatchRotating)).
+				add(stringScan("pl_re", 128, 1))
+			p.phases = 3
+			return p
+		})
+
+	register("gap", ClassInt,
+		"computer-algebra interpreter: scattered indirect calls through "+
+			"handler tables",
+		func() *program {
+			return newProgram(55).
+				add(funcptr("ga_ops", 16, 900, true)).
+				add(dispatch("ga_eval", 8, 500, dispatchBiased)).
+				add(alu("ga_big", 420))
+		})
+
+	register("vortex", ClassInt,
+		"object database: very call/return dense with pointer-linked "+
+			"records",
+		func() *program {
+			return newProgram(55).
+				add(calls("vo_obj", 150, 2, 1)).
+				add(chase("vo_db", 64, 10)).
+				add(alu("vo_chk", 420))
+		})
+
+	register("bzip2", ClassInt,
+		"block-sorting compression: counter-heavy sorting loops and byte "+
+			"scans, highly predictable structure",
+		func() *program {
+			return newProgram(60).
+				add(incloop("bz_sort", 1100)).
+				add(stringScan("bz_scan", 192, 3)).
+				add(crc("bz_crc", 48, 3)).
+				add(alu("bz_mtf", 380))
+		})
+
+	register("twolf", ClassInt,
+		"standard-cell placement: pointer chasing plus erratic "+
+			"accept/reject branches",
+		func() *program {
+			return newProgram(55).
+				add(chase("tw_net", 64, 12)).
+				add(branchy("tw_anneal", 420, 4)).
+				add(selects("tw_cost", 48, 5)).
+				add(incloop("tw_cnt", 300))
+		})
+
+	// ---------------- SPECfp 2000 (Fortran 90 excluded) ----------------
+
+	register("wupwise", ClassFP,
+		"lattice QCD: dense multiply-accumulate with mild reload "+
+			"redundancy",
+		func() *program {
+			return newProgram(75).
+				add(matmul("wu_zgemm", 48, 10)).
+				add(stencil("wu_site", 256, 1))
+		})
+
+	register("swim", ClassFP,
+		"shallow-water stencils over large grids: reload-heavy compiled "+
+			"loop nests",
+		func() *program {
+			return newProgram(70).
+				add(stencil("sw_calc1", 320, 1)).
+				add(stencil("sw_calc2", 320, 1))
+		})
+
+	register("mgrid", ClassFP,
+		"multigrid relaxation: the extreme redundant-load case — the "+
+			"paper's 40% redundant-load-removal win lives here",
+		func() *program {
+			return newProgram(85).
+				add(stencil("mg_resid", 384, 3)).
+				add(stencil("mg_psinv", 384, 3))
+		})
+
+	register("applu", ClassFP,
+		"SSOR solver: reload-heavy stencils plus back-substitution "+
+			"arithmetic",
+		func() *program {
+			return newProgram(65).
+				add(stencil("ap_rhs", 288, 1)).
+				add(alu("ap_blts", 700))
+		})
+
+	register("mesa", ClassFP,
+		"software 3D rasterization (C): fixed-point arithmetic with "+
+			"counter-dense span loops and a biased switch over pixel "+
+			"formats",
+		func() *program {
+			return newProgram(60).
+				add(incloop("me_span", 800)).
+				add(stencil("me_interp", 192, 1)).
+				add(dispatch("me_fmt", 4, 400, dispatchBiased))
+		})
+
+	register("art", ClassFP,
+		"neural-network image matching: dense dot products and branchless "+
+			"winner-take-all maxima (cmov/setcc)",
+		func() *program {
+			return newProgram(70).
+				add(matmul("ar_f1", 64, 12)).
+				add(selects("ar_win", 64, 6)).
+				add(stencil("ar_scan", 160, 1))
+		})
+
+	register("equake", ClassFP,
+		"FEM earthquake simulation: sparse matrix-vector products — "+
+			"dense arithmetic plus pointer-linked traversal",
+		func() *program {
+			return newProgram(65).
+				add(matmul("eq_smvp", 56, 10)).
+				add(chase("eq_mesh", 48, 8)).
+				add(stencil("eq_disp", 160, 1))
+		})
+
+	register("ammp", ClassFP,
+		"molecular dynamics (C): neighbour-list chasing plus force "+
+			"arithmetic",
+		func() *program {
+			return newProgram(60).
+				add(chase("am_nbr", 56, 8)).
+				add(alu("am_force", 900)).
+				add(stencil("am_vec", 160, 1))
+		})
+
+	register("apsi", ClassFP,
+		"pollutant transport: stencil sweeps with moderate reload "+
+			"redundancy and index arithmetic",
+		func() *program {
+			return newProgram(65).
+				add(stencil("as_adv", 256, 1)).
+				add(matmul("as_turb", 40, 8)).
+				add(alu("as_idx", 400))
+		})
+
+	register("sixtrack", ClassFP,
+		"particle tracking: long multiply-dense loops with counters",
+		func() *program {
+			return newProgram(70).
+				add(matmul("si_track", 72, 12)).
+				add(incloop("si_turn", 500))
+		})
+}

@@ -1,0 +1,173 @@
+package workload_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	all := workload.All()
+	if len(all) != 22 {
+		t.Fatalf("suite has %d benchmarks, want 22 (SPEC2000 minus Fortran 90)", len(all))
+	}
+	ints, fps := 0, 0
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Signature == "" {
+			t.Errorf("%s: missing signature", b.Name)
+		}
+		switch b.Class {
+		case workload.ClassInt:
+			ints++
+		case workload.ClassFP:
+			fps++
+		}
+	}
+	if ints != 12 || fps != 10 {
+		t.Errorf("class split = %d INT, %d FP; want 12, 10", ints, fps)
+	}
+	for _, name := range []string{"crafty", "vpr", "mgrid", "gcc", "perlbmk"} {
+		if workload.ByName(name) == nil {
+			t.Errorf("missing key benchmark %q", name)
+		}
+	}
+	if workload.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+	if len(workload.ByClass(workload.ClassFP)) != 10 {
+		t.Error("ByClass(FP) wrong")
+	}
+}
+
+// TestAllBenchmarksRunNatively assembles and runs every benchmark to
+// completion, checking it terminates, produces output, and is deterministic.
+func TestAllBenchmarksRunNatively(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() *machine.Machine {
+				m := machine.New(machine.PentiumIV())
+				b.Image().Boot(m)
+				if err := m.Run(50_000_000); err != nil {
+					t.Fatalf("%v", err)
+				}
+				return m
+			}
+			m1 := run()
+			if len(m1.Output) == 0 {
+				t.Fatal("no checksum output")
+			}
+			if m1.Stats.Instructions < 300_000 {
+				t.Errorf("only %d instructions: too small to amortize anything", m1.Stats.Instructions)
+			}
+			if m1.Stats.Instructions > 40_000_000 {
+				t.Errorf("%d instructions: too slow for the harness", m1.Stats.Instructions)
+			}
+			m2 := run()
+			if !bytes.Equal(m1.Output, m2.Output) {
+				t.Error("nondeterministic output")
+			}
+		})
+	}
+}
+
+// TestAllBenchmarksTransparentUnderRIO is the system-level transparency
+// check: every benchmark must produce byte-identical output under the full
+// runtime.
+func TestAllBenchmarksTransparentUnderRIO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite transparency is slow; run without -short")
+	}
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			native := machine.New(machine.PentiumIV())
+			b.Image().Boot(native)
+			if err := native.Run(80_000_000); err != nil {
+				t.Fatal(err)
+			}
+			m := machine.New(machine.PentiumIV())
+			r := core.New(m, b.Image(), core.Default(), nil)
+			if err := r.Run(400_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(m.Output, native.Output) {
+				t.Errorf("output %q != native %q", m.Output, native.Output)
+			}
+		})
+	}
+}
+
+func TestBenchmarkProfile(t *testing.T) {
+	// Informational: per-benchmark dynamic profile, used to keep the
+	// workload signatures honest.
+	if testing.Short() {
+		t.Skip("profile dump skipped in -short")
+	}
+	for _, b := range workload.All() {
+		m := machine.New(machine.PentiumIV())
+		b.Image().Boot(m)
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		s := m.Stats
+		t.Logf("%-9s %s %8d instrs %7.2fMcyc ind/Kinst=%.1f ret/Kinst=%.1f condmiss%%=%.1f loads/Kinst=%.0f",
+			b.Name, b.Class, s.Instructions, float64(m.Ticks)/machine.TicksPerCycle/1e6,
+			1000*float64(s.IndBranches)/float64(s.Instructions),
+			1000*float64(s.Rets)/float64(s.Instructions),
+			100*float64(s.CondMispred)/float64(s.CondBranches+1),
+			1000*float64(s.Loads)/float64(s.Instructions))
+	}
+}
+
+// TestSignatureFeaturesPresent pins each benchmark's behavioural signature
+// to concrete features of its generated assembly, so parameter edits cannot
+// silently drop the pattern a Figure 5 bar depends on.
+func TestSignatureFeaturesPresent(t *testing.T) {
+	contains := func(name, needle string) {
+		t.Helper()
+		b := workload.ByName(name)
+		if b == nil {
+			t.Fatalf("no benchmark %s", name)
+		}
+		if !strings.Contains(b.Source(), needle) {
+			t.Errorf("%s: source lacks %q", name, needle)
+		}
+	}
+	// Redundant-load headroom for rlr.
+	contains("mgrid", "mov eax, [esi]")
+	contains("swim", "mov edi, [esi]")
+	// inc/dec density for inc2add.
+	contains("gzip", "inc eax")
+	contains("bzip2", "inc eax")
+	contains("sixtrack", "inc eax")
+	// Indirect jumps for ibdispatch.
+	contains("crafty", "jmp eax")
+	contains("perlbmk", "jmp eax")
+	contains("gap", "jmp eax")
+	// Calls/returns for ctrace.
+	contains("eon", "call [")
+	contains("vortex", "call vo_obj_f")
+	// Pointer chasing.
+	contains("mcf", "mov eax, [eax+4]")
+	// Branchless selection (cmov/setcc).
+	contains("art", "cmovnle")
+	contains("twolf", "setnle")
+	// CRC rotate/bswap.
+	contains("gzip", "ror edx, 8")
+	contains("gzip", "bswap edx")
+	// Low-reuse sprawl for the slowdown cases.
+	contains("gcc", "gcc_p3_u149")
+	contains("perlbmk", "pl_c2_u149")
+}
