@@ -5,6 +5,8 @@
 //	drbench -table2              # Table 2: per-level decode+encode cost
 //	drbench -figure5             # Figure 5: all 22 benchmarks x 6 configs
 //	drbench -figure5 -bench mgrid,crafty
+//	drbench -figure5 -parallel 0 # fan the benchmark x config matrix across all CPUs
+//	drbench -figure5 -json BENCH_figure5.json
 //	drbench -all                 # everything
 //	drbench -verify              # transparency matrix: 22 benchmarks x 11 configs
 //
@@ -12,10 +14,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -28,8 +32,10 @@ func main() {
 		table2  = flag.Bool("table2", false, "reproduce Table 2")
 		figure5 = flag.Bool("figure5", false, "reproduce Figure 5")
 		all     = flag.Bool("all", false, "reproduce everything")
-		verify  = flag.Bool("verify", false, "run the transparency matrix: every benchmark under every configuration, checking output equality")
-		bench   = flag.String("bench", "", "comma-separated benchmark subset for -figure5")
+		verify   = flag.Bool("verify", false, "run the transparency matrix: every benchmark under every configuration, checking output equality")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset for -figure5")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the -figure5 matrix; 0 means one per CPU")
+		jsonPath = flag.String("json", "", "also write the -figure5 results as JSON to this path")
 	)
 	flag.Parse()
 	if !*table1 && !*table2 && !*figure5 && !*all && !*verify {
@@ -54,8 +60,80 @@ func main() {
 		if *bench != "" {
 			names = strings.Split(*bench, ",")
 		}
-		fmt.Print(harness.FormatFigure5(harness.Figure5(names...)))
+		start := time.Now()
+		rows, err := harness.Figure5Parallel(*parallel, names...)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatFigure5(rows))
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", *jsonPath, len(rows), elapsed.Seconds())
+		}
 	}
+}
+
+// benchJSON is the file layout of -json: the Figure 5 series plus enough
+// run metadata (worker count, wall clock, simulated cycle totals) to track
+// harness performance across revisions.
+type benchJSON struct {
+	Schema              string    `json:"schema"`
+	Workers             int       `json:"workers"`
+	WallClockSeconds    float64   `json:"wall_clock_seconds"`
+	TotalSimulatedCycle uint64    `json:"total_simulated_cycles"`
+	Configs             []string  `json:"configs"`
+	Rows                []rowJSON `json:"rows"`
+	Means               meansJSON `json:"means"`
+}
+
+type rowJSON struct {
+	Benchmark  string    `json:"benchmark"`
+	Class      string    `json:"class"`
+	Normalized []float64 `json:"normalized"`
+	Cycles     []uint64  `json:"cycles"`
+}
+
+type meansJSON struct {
+	FP  []float64 `json:"fp"`
+	Int []float64 `json:"int"`
+	All []float64 `json:"all"`
+}
+
+func writeJSON(path string, rows []harness.Figure5Row, workers int, elapsed time.Duration) error {
+	out := benchJSON{
+		Schema:           "drbench/figure5/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+	}
+	for c := harness.ConfigBase; c < harness.NumOptConfigs; c++ {
+		out.Configs = append(out.Configs, c.String())
+	}
+	for _, r := range rows {
+		row := rowJSON{Benchmark: r.Benchmark, Class: r.Class.String()}
+		for c := harness.ConfigBase; c < harness.NumOptConfigs; c++ {
+			row.Normalized = append(row.Normalized, r.Normalized[c])
+			cycles := r.Ticks[c].Cycles()
+			row.Cycles = append(row.Cycles, cycles)
+			out.TotalSimulatedCycle += cycles
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	m := harness.Means(rows)
+	for c := harness.ConfigBase; c < harness.NumOptConfigs; c++ {
+		out.Means.FP = append(out.Means.FP, m.FP[c])
+		out.Means.Int = append(out.Means.Int, m.Int[c])
+		out.Means.All = append(out.Means.All, m.All[c])
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // runVerify exercises the whole matrix: every benchmark under the five

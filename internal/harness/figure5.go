@@ -4,42 +4,29 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/workload"
 )
 
 // Figure5Row is one benchmark's group of bars in the paper's Figure 5:
 // normalized execution time (ratio to native, smaller is better) for the
-// base system and each optimization configuration.
+// base system and each optimization configuration, plus the raw simulated
+// cycle counts behind each ratio.
 type Figure5Row struct {
 	Benchmark  string
 	Class      workload.Class
 	Normalized [NumOptConfigs]float64
+	Ticks      [NumOptConfigs]machine.Ticks
 }
 
-// Figure5 reproduces the paper's Figure 5 for the whole suite. With bench
-// set to a non-empty list, only those benchmarks run (useful for quick
-// checks).
+// Figure5 reproduces the paper's Figure 5 for the whole suite, serially.
+// With names set to a non-empty list, only those benchmarks run (useful for
+// quick checks). It is Figure5Parallel with one worker and failures
+// escalated to panics.
 func Figure5(names ...string) []Figure5Row {
-	var benches []*workload.Benchmark
-	if len(names) == 0 {
-		benches = workload.All()
-	} else {
-		for _, n := range names {
-			b := workload.ByName(n)
-			if b == nil {
-				panic("harness: unknown benchmark " + n)
-			}
-			benches = append(benches, b)
-		}
-	}
-	rows := make([]Figure5Row, len(benches))
-	for i, b := range benches {
-		rows[i] = Figure5Row{Benchmark: b.Name, Class: b.Class}
-		for c := ConfigBase; c < NumOptConfigs; c++ {
-			res := RunConfig(b, core.Default(), ClientsFor(c)...)
-			rows[i].Normalized[c] = res.Normalized
-		}
+	rows, err := Figure5Parallel(1, names...)
+	if err != nil {
+		panic(err)
 	}
 	return rows
 }

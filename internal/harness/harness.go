@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/clients/ctrace"
 	"repro/internal/clients/ibdispatch"
@@ -29,22 +30,49 @@ type NativeResult struct {
 	Stats  machine.Stats
 }
 
-var nativeCache = map[string]*NativeResult{}
+// nativeEntry is one benchmark's slot in the native-baseline cache. The
+// sync.Once makes the cache safe for concurrent RunNative/RunConfig calls:
+// the first caller performs the run, every other caller blocks on the Once
+// until the result (or error) is ready, and no benchmark runs twice.
+type nativeEntry struct {
+	once sync.Once
+	res  *NativeResult
+	err  error
+}
+
+var (
+	nativeMu    sync.Mutex
+	nativeCache = map[string]*nativeEntry{}
+)
 
 // RunNative executes the benchmark directly on the machine (no runtime),
-// caching the result.
+// caching the result. It is safe for concurrent use.
 func RunNative(b *workload.Benchmark) *NativeResult {
-	if r, ok := nativeCache[b.Name]; ok {
-		return r
+	r, err := runNative(b)
+	if err != nil {
+		panic(err)
 	}
-	m := machine.New(machine.PentiumIV())
-	b.Image().Boot(m)
-	if err := m.Run(runLimit); err != nil {
-		panic(fmt.Sprintf("harness: native %s: %v", b.Name, err))
-	}
-	r := &NativeResult{Ticks: m.Ticks, Output: m.Output, Stats: m.Stats}
-	nativeCache[b.Name] = r
 	return r
+}
+
+func runNative(b *workload.Benchmark) (*NativeResult, error) {
+	nativeMu.Lock()
+	e, ok := nativeCache[b.Name]
+	if !ok {
+		e = &nativeEntry{}
+		nativeCache[b.Name] = e
+	}
+	nativeMu.Unlock()
+	e.once.Do(func() {
+		m := machine.New(machine.PentiumIV())
+		b.Image().Boot(m)
+		if err := m.Run(runLimit); err != nil {
+			e.err = fmt.Errorf("harness: native %s: %v", b.Name, err)
+			return
+		}
+		e.res = &NativeResult{Ticks: m.Ticks, Output: m.Output, Stats: m.Stats}
+	})
+	return e.res, e.err
 }
 
 // ConfigResult is one benchmark run under the runtime.
@@ -57,17 +85,41 @@ type ConfigResult struct {
 }
 
 // RunConfig executes the benchmark under the runtime with the given options
-// and clients, verifying transparency against the native run.
+// and clients, verifying transparency against the native run. It panics on
+// any failure; the parallel harness uses RunConfigErr instead.
 func RunConfig(b *workload.Benchmark, opts core.Options, clients ...core.Client) *ConfigResult {
-	native := RunNative(b)
+	res, err := runConfig(b, opts, clients...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunConfigErr is RunConfig with every failure — including panics from the
+// runtime or a client — converted to an error, so one broken cell of a
+// parallel sweep reports instead of killing the whole run.
+func RunConfigErr(b *workload.Benchmark, opts core.Options, clients ...core.Client) (res *ConfigResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: %s: panic: %v", b.Name, p)
+		}
+	}()
+	return runConfig(b, opts, clients...)
+}
+
+func runConfig(b *workload.Benchmark, opts core.Options, clients ...core.Client) (*ConfigResult, error) {
+	native, err := runNative(b)
+	if err != nil {
+		return nil, err
+	}
 	m := machine.New(machine.PentiumIV())
 	r := core.New(m, b.Image(), opts, nil, clients...)
 	if err := r.Run(runLimit); err != nil {
-		panic(fmt.Sprintf("harness: %s under %+v: %v", b.Name, opts.Mode, err))
+		return nil, fmt.Errorf("harness: %s under %+v: %v", b.Name, opts.Mode, err)
 	}
 	if !bytes.Equal(m.Output, native.Output) {
-		panic(fmt.Sprintf("harness: %s: transparency violated: output %q != native %q",
-			b.Name, m.Output, native.Output))
+		return nil, fmt.Errorf("harness: %s: transparency violated: output %q != native %q",
+			b.Name, m.Output, native.Output)
 	}
 	return &ConfigResult{
 		Ticks:      m.Ticks,
@@ -75,7 +127,7 @@ func RunConfig(b *workload.Benchmark, opts core.Options, clients ...core.Client)
 		Output:     m.Output,
 		RIOStats:   r.Stats,
 		Machine:    m.Stats,
-	}
+	}, nil
 }
 
 // OptConfig names one bar group of Figure 5.

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// RunMatrix evaluates the full (benchmark × Figure-5 configuration) matrix
+// with a pool of worker goroutines and returns one row per benchmark, in
+// input order. workers <= 0 means one worker per GOMAXPROCS.
+//
+// Every cell is an independent simulated Machine with fresh client
+// instances, and the native-baseline cache serializes per benchmark, so the
+// rows are bit-identical for any worker count — parallelism changes only
+// wall-clock time. A cell that fails (or panics) is reported in the joined
+// error while the remaining cells still run.
+func RunMatrix(workers int, benches []*workload.Benchmark, opts core.Options) ([]Figure5Row, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nc := int(NumOptConfigs)
+	cells := len(benches) * nc
+	if workers > cells {
+		workers = cells
+	}
+	rows := make([]Figure5Row, len(benches))
+	for i, b := range benches {
+		rows[i] = Figure5Row{Benchmark: b.Name, Class: b.Class}
+	}
+	errs := make([]error, cells)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				b, c := benches[k/nc], OptConfig(k%nc)
+				res, err := RunConfigErr(b, opts, ClientsFor(c)...)
+				if err != nil {
+					errs[k] = fmt.Errorf("%s/%s: %w", b.Name, c, err)
+					continue
+				}
+				// Distinct cells write distinct row elements, so no
+				// further synchronization is needed beyond the WaitGroup.
+				rows[k/nc].Normalized[c] = res.Normalized
+				rows[k/nc].Ticks[c] = res.Ticks
+			}
+		}()
+	}
+	for k := 0; k < cells; k++ {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+	return rows, errors.Join(errs...)
+}
+
+// Figure5Parallel reproduces Figure 5 with the given worker count (<= 0
+// means one worker per GOMAXPROCS). With names non-empty, only those
+// benchmarks run. The rows are bit-identical to the serial Figure5.
+func Figure5Parallel(workers int, names ...string) ([]Figure5Row, error) {
+	benches, err := benchSubset(names)
+	if err != nil {
+		return nil, err
+	}
+	return RunMatrix(workers, benches, core.Default())
+}
+
+func benchSubset(names []string) ([]*workload.Benchmark, error) {
+	if len(names) == 0 {
+		return workload.All(), nil
+	}
+	benches := make([]*workload.Benchmark, 0, len(names))
+	for _, n := range names {
+		b := workload.ByName(n)
+		if b == nil {
+			return nil, fmt.Errorf("harness: unknown benchmark %s", n)
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}

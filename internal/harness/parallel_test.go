@@ -1,0 +1,83 @@
+package harness_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// TestFigure5ParallelDeterminism asserts that the worker-pool runner is a
+// pure wall-clock optimization: the rows it produces with four workers are
+// bit-identical (same float64 bits, same tick counts, same order) to the
+// serial run. Simulation must be deterministic for the paper's numbers to
+// be reproducible at all.
+func TestFigure5ParallelDeterminism(t *testing.T) {
+	names := []string{"mgrid", "crafty", "gcc"}
+	serial, err := harness.Figure5Parallel(1, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := harness.Figure5Parallel(4, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel rows differ from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestFigure5ParallelUnknownBenchmark asserts that a bad name is reported
+// as an error, not a panic.
+func TestFigure5ParallelUnknownBenchmark(t *testing.T) {
+	if _, err := harness.Figure5Parallel(2, "nosuch"); err == nil {
+		t.Error("Figure5Parallel(2, nosuch) = nil error, want error")
+	}
+}
+
+// TestRunConfigConcurrent runs the same (benchmark, config) cell from four
+// goroutines at once — hammering the shared native-baseline cache — and
+// checks every result matches a prior serial run exactly.
+func TestRunConfigConcurrent(t *testing.T) {
+	b := workload.ByName("crafty")
+	if b == nil {
+		t.Fatal("crafty not registered")
+	}
+	want := harness.RunConfig(b, core.Default(), harness.ClientsFor(harness.ConfigAll)...)
+
+	const n = 4
+	got := make([]*harness.ConfigResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = harness.RunConfigErr(b, core.Default(), harness.ClientsFor(harness.ConfigAll)...)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if got[i].Ticks != want.Ticks {
+			t.Errorf("goroutine %d: Ticks = %d, want %d", i, got[i].Ticks, want.Ticks)
+		}
+		if got[i].Machine != want.Machine {
+			t.Errorf("goroutine %d: machine stats diverge from serial run", i)
+		}
+	}
+}
+
+// TestRunConfigErrReportsPanics asserts that RunConfigErr converts panics
+// (here: an unknown benchmark image underneath a nil pointer) to errors.
+func TestRunConfigErrReportsPanics(t *testing.T) {
+	bad := &workload.Benchmark{Name: "bad"}
+	if _, err := harness.RunConfigErr(bad, core.Default()); err == nil {
+		t.Error("RunConfigErr on a broken benchmark = nil error, want error")
+	}
+}

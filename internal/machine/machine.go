@@ -39,34 +39,42 @@ type CPU struct {
 	EIP    Addr
 }
 
+// regDesc locates a register of any width within the 32-bit register file:
+// the containing full register's index, the bit offset of the sub-register,
+// and its width mask. A table of these makes Reg and SetReg branch-free —
+// they are the single hottest operations of the interpreter.
+type regDesc struct {
+	idx   uint8
+	shift uint8
+	mask  uint32
+}
+
+var regDescs [256]regDesc
+
+func init() {
+	for i := 1; i < len(regDescs); i++ {
+		r := ia32.Reg(i)
+		if r.Size() == 0 {
+			continue
+		}
+		d := regDesc{idx: r.Full().Enc(), mask: sizeMask(r.Size())}
+		if r.IsHigh8() {
+			d.shift = 8
+		}
+		regDescs[i] = d
+	}
+}
+
 // Reg reads a register of any width.
 func (c *CPU) Reg(r ia32.Reg) uint32 {
-	full := c.R[r.Full().Enc()]
-	switch {
-	case r.Is32():
-		return full
-	case r.Is16():
-		return full & 0xffff
-	case r.IsHigh8():
-		return (full >> 8) & 0xff
-	default:
-		return full & 0xff
-	}
+	d := &regDescs[r]
+	return c.R[d.idx&7] >> d.shift & d.mask
 }
 
 // SetReg writes a register of any width, preserving unwritten bytes.
 func (c *CPU) SetReg(r ia32.Reg, v uint32) {
-	i := r.Full().Enc()
-	switch {
-	case r.Is32():
-		c.R[i] = v
-	case r.Is16():
-		c.R[i] = c.R[i]&0xffff0000 | v&0xffff
-	case r.IsHigh8():
-		c.R[i] = c.R[i]&0xffff00ff | (v&0xff)<<8
-	default:
-		c.R[i] = c.R[i]&0xffffff00 | v&0xff
-	}
+	d := &regDescs[r]
+	c.R[d.idx&7] = c.R[d.idx&7]&^(d.mask<<d.shift) | (v&d.mask)<<d.shift
 }
 
 // Thread is one simulated thread of execution.
@@ -146,11 +154,27 @@ type Stats struct {
 	DecodeMisses  uint64
 }
 
+// cachedInst is one decode-cache entry: the decoded instruction plus the
+// execution state resolved once at decode time — the thunk (fn), the
+// fall-through EIP, the profile's base cost, and the operand properties the
+// thunk would otherwise re-derive on every step. The gen fields tie the
+// entry to the write generations of the 256-byte chunk(s) the instruction
+// bytes occupy; they are what keeps fused dispatch correct under
+// self-modifying code (fragment replacement, InvalidateRange).
 type cachedInst struct {
-	inst ia32.Inst
-	gen  uint32
-	gen2 uint32 // generation of the second page when the instruction spans one
-	twoP bool
+	inst   ia32.Inst
+	fn     execThunk
+	next   Addr  // EIP after fall-through (entry pc + inst.Len)
+	target Addr  // direct CTI target; ret: imm16 stack adjustment
+	cost   Ticks // profile base cost of the opcode
+	imm    uint32 // immediate value for specialized reg/imm thunks
+	gen    uint32
+	gen2   uint32 // generation of the second chunk when the instruction spans one
+	size   uint8  // operation size in bytes for size-dependent opcodes
+	cc     uint8  // condition code (jcc/setcc/cmovcc); int: vector
+	r1     uint8  // register-file indices for specialized register thunks
+	r2     uint8
+	twoP   bool
 }
 
 // New returns a machine with the given cost profile and one initial thread.
@@ -204,14 +228,14 @@ func (m *Machine) Charge(t Ticks) { m.Ticks += t }
 func (m *Machine) InvalidateICache() { m.icache = make([]icEntry, 1<<icacheBits) }
 
 // decode returns the decoded instruction at pc, consulting the decode cache
-// and validating it against the write generations of the page(s) the
-// instruction occupies.
+// and validating it against the write generations of the 256-byte chunk(s)
+// the instruction occupies (see Memory.SubGen).
 func (m *Machine) decode(pc Addr) (*cachedInst, error) {
 	e := &m.icache[pc&(1<<icacheBits-1)]
 	if e.pc == pc && e.ci != nil {
 		ci := e.ci
-		if m.Mem.Gen(pc) == ci.gen &&
-			(!ci.twoP || m.Mem.Gen(pc+Addr(ci.inst.Len)-1) == ci.gen2) {
+		if m.Mem.SubGen(pc) == ci.gen &&
+			(!ci.twoP || m.Mem.SubGen(pc+Addr(ci.inst.Len)-1) == ci.gen2) {
 			return ci, nil
 		}
 	}
@@ -222,12 +246,13 @@ func (m *Machine) decode(pc Addr) (*cachedInst, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: decode at %#x: %w", pc, err)
 	}
-	ci := &cachedInst{inst: inst, gen: m.Mem.Gen(pc)}
+	ci := &cachedInst{inst: inst, gen: m.Mem.SubGen(pc)}
 	end := pc + Addr(inst.Len) - 1
-	if end>>pageShift != pc>>pageShift {
+	if end>>chunkShift != pc>>chunkShift {
 		ci.twoP = true
-		ci.gen2 = m.Mem.Gen(end)
+		ci.gen2 = m.Mem.SubGen(end)
 	}
+	m.resolve(ci, pc)
 	e.pc, e.ci = pc, ci
 	return ci, nil
 }
@@ -265,7 +290,10 @@ func (m *Machine) Step(t *Thread) error {
 	if err != nil {
 		return err
 	}
-	return m.exec(t, &ci.inst)
+	m.Stats.Instructions++
+	t.Instret++
+	m.Ticks += ci.cost + m.PerInstrOverhead
+	return ci.fn(m, t, ci)
 }
 
 // deliverSignal transfers control to the pending handler, either through the
@@ -296,14 +324,25 @@ func (m *Machine) Run(limit uint64) error {
 				continue
 			}
 			live++
-			for q := 0; q < quantum && !t.Halted; q++ {
-				if limit > 0 && executed >= limit {
+			// Hoist the limit check out of the per-instruction loop by
+			// shrinking this quantum to whatever budget remains.
+			q := uint64(quantum)
+			if limit > 0 {
+				if executed >= limit {
 					return ErrLimit
 				}
+				if rem := limit - executed; rem < q {
+					q = rem
+				}
+			}
+			for ; q > 0; q-- {
 				if err := m.Step(t); err != nil {
 					return err
 				}
 				executed++
+				if t.Halted {
+					break
+				}
 			}
 		}
 		if live == 0 {

@@ -23,18 +23,30 @@ const (
 	pageShift = 16
 	pageSize  = 1 << pageShift
 	pageCount = 1 << (32 - pageShift)
+
+	// chunkShift is the granularity of the fine-grained write generations
+	// (see SubGen): 256-byte chunks. The decoded-instruction cache
+	// validates against chunks rather than whole pages so that appending
+	// one fragment to the simulated code cache does not invalidate the
+	// decodes of every other fragment sharing its 64 KiB page.
+	chunkShift = 8
+	chunkCount = pageSize >> chunkShift
 )
 
-// PageSize is the granularity of write-generation tracking (see Gen); it is
-// the unit at which embedders can detect code modification.
+// PageSize is the granularity of page-level write-generation tracking (see
+// Gen); it is the unit at which embedders can detect code modification.
 const PageSize Addr = pageSize
 
 type page struct {
 	bytes [pageSize]byte
-	// gen counts writes to the page; the decoded-instruction cache uses
-	// it to detect self-modifying code (fragment replacement writes into
-	// the simulated code cache).
+	// gen counts writes to the page; embedders (fragment staleness checks
+	// in the runtime) use it to detect self-modifying code.
 	gen uint32
+	// sub counts writes per 256-byte chunk; the decoded-instruction cache
+	// uses it for precise invalidation (fragment replacement writes into
+	// the simulated code cache). Every write bumps both gen and the
+	// touched sub entries, so sub is strictly finer than gen.
+	sub [chunkCount]uint32
 }
 
 // Memory is a sparse paged 32-bit address space. Pages are allocated on
@@ -86,12 +98,28 @@ func (m *Memory) Read32(a Addr) uint32 {
 // Write8 writes one byte.
 func (m *Memory) Write8(a Addr, v uint8) {
 	p := m.pageFor(a)
-	p.bytes[a&(pageSize-1)] = v
+	o := a & (pageSize - 1)
+	p.bytes[o] = v
 	p.gen++
+	p.sub[o>>chunkShift]++
 }
 
-// Write16 writes a little-endian 16-bit value.
+// Write16 writes a little-endian 16-bit value. The in-page fast path bumps
+// the page generation once (not once per byte), halving the decode-cache
+// invalidation pressure of 16-bit stores.
 func (m *Memory) Write16(a Addr, v uint16) {
+	if a&(pageSize-1) <= pageSize-2 {
+		p := m.pageFor(a)
+		o := a & (pageSize - 1)
+		p.bytes[o] = uint8(v)
+		p.bytes[o+1] = uint8(v >> 8)
+		p.gen++
+		p.sub[o>>chunkShift]++
+		if (o+1)>>chunkShift != o>>chunkShift {
+			p.sub[(o+1)>>chunkShift]++
+		}
+		return
+	}
 	m.Write8(a, uint8(v))
 	m.Write8(a+1, uint8(v>>8))
 }
@@ -106,6 +134,10 @@ func (m *Memory) Write32(a Addr, v uint32) {
 		p.bytes[o+2] = byte(v >> 16)
 		p.bytes[o+3] = byte(v >> 24)
 		p.gen++
+		p.sub[o>>chunkShift]++
+		if (o+3)>>chunkShift != o>>chunkShift {
+			p.sub[(o+3)>>chunkShift]++
+		}
 		return
 	}
 	m.Write16(a, uint16(v))
@@ -119,6 +151,9 @@ func (m *Memory) WriteBytes(a Addr, b []byte) {
 		o := a & (pageSize - 1)
 		n := copy(p.bytes[o:], b)
 		p.gen++
+		for c := o >> chunkShift; c <= (o+Addr(n)-1)>>chunkShift; c++ {
+			p.sub[c]++
+		}
 		b = b[n:]
 		a += Addr(n)
 	}
@@ -154,6 +189,18 @@ func (m *Memory) Fetch(a Addr, buf []byte) []byte {
 func (m *Memory) Gen(a Addr) uint32 {
 	if p := m.pages[a>>pageShift]; p != nil {
 		return p.gen
+	}
+	return 0
+}
+
+// SubGen returns the write-generation of the 256-byte chunk containing a.
+// It is the fine-grained companion of Gen: every write bumps the chunk
+// generations it touches, so a stable SubGen over an instruction's bytes
+// proves those bytes are unmodified. The decode cache validates against
+// SubGen to survive unrelated writes elsewhere on the same page.
+func (m *Memory) SubGen(a Addr) uint32 {
+	if p := m.pages[a>>pageShift]; p != nil {
+		return p.sub[a&(pageSize-1)>>chunkShift]
 	}
 	return 0
 }
