@@ -7,6 +7,9 @@
 //	drbench -figure5 -bench mgrid,crafty
 //	drbench -figure5 -parallel 0 # fan the benchmark x config matrix across all CPUs
 //	drbench -figure5 -json BENCH_figure5.json
+//	drbench -figure5 -cache-bb 65536 -cache-trace 65536   # bounded caches
+//	drbench -cachesweep          # cache budget ladder: 22 benchmarks x 6 budgets
+//	drbench -cachesweep -json BENCH_cachesweep.json
 //	drbench -all                 # everything
 //	drbench -verify              # transparency matrix: 22 benchmarks x 11 configs
 //
@@ -28,17 +31,21 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "reproduce Table 1")
-		table2  = flag.Bool("table2", false, "reproduce Table 2")
-		figure5 = flag.Bool("figure5", false, "reproduce Figure 5")
-		all     = flag.Bool("all", false, "reproduce everything")
-		verify   = flag.Bool("verify", false, "run the transparency matrix: every benchmark under every configuration, checking output equality")
-		bench    = flag.String("bench", "", "comma-separated benchmark subset for -figure5")
-		parallel = flag.Int("parallel", 1, "worker goroutines for the -figure5 matrix; 0 means one per CPU")
-		jsonPath = flag.String("json", "", "also write the -figure5 results as JSON to this path")
+		table1     = flag.Bool("table1", false, "reproduce Table 1")
+		table2     = flag.Bool("table2", false, "reproduce Table 2")
+		figure5    = flag.Bool("figure5", false, "reproduce Figure 5")
+		cachesweep = flag.Bool("cachesweep", false, "run the cache-budget sweep (benchmarks x budget ladder)")
+		all        = flag.Bool("all", false, "reproduce everything")
+		verify     = flag.Bool("verify", false, "run the transparency matrix: every benchmark under every configuration, checking output equality")
+		bench      = flag.String("bench", "", "comma-separated benchmark subset for -figure5 and -cachesweep")
+		parallel   = flag.Int("parallel", 1, "worker goroutines for the benchmark x config matrices; 0 means one per CPU")
+		jsonPath   = flag.String("json", "", "also write the -figure5 or -cachesweep results as JSON to this path")
+		cacheBB    = flag.Int("cache-bb", 0, "per-thread basic-block cache budget in bytes for -figure5 (0 = unbounded)")
+		cacheTrace = flag.Int("cache-trace", 0, "per-thread trace cache budget in bytes for -figure5 (0 = unbounded)")
+		adaptive   = flag.Bool("adaptive", false, "enable adaptive cache resizing for -figure5 (needs a bounded cache)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*figure5 && !*all && !*verify {
+	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*all && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -55,13 +62,25 @@ func main() {
 		fmt.Print(harness.FormatTable2(harness.Table2()))
 		fmt.Println()
 	}
+
+	var names []string
+	if *bench != "" {
+		names = strings.Split(*bench, ",")
+	}
+	benches, err := benchList(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drbench:", err)
+		os.Exit(1)
+	}
+
+	figure5JSONWritten := false
 	if *figure5 || *all {
-		var names []string
-		if *bench != "" {
-			names = strings.Split(*bench, ",")
-		}
+		opts := core.Default()
+		opts.BBCacheSize = *cacheBB
+		opts.TraceCacheSize = *cacheTrace
+		opts.AdaptiveCache = *adaptive
 		start := time.Now()
-		rows, err := harness.Figure5Parallel(*parallel, names...)
+		rows, err := harness.RunMatrix(*parallel, benches, opts)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "drbench:", err)
@@ -73,14 +92,53 @@ func main() {
 				fmt.Fprintln(os.Stderr, "drbench:", err)
 				os.Exit(1)
 			}
+			figure5JSONWritten = true
 			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", *jsonPath, len(rows), elapsed.Seconds())
+		}
+	}
+
+	if *cachesweep || *all {
+		points := harness.DefaultSweep()
+		start := time.Now()
+		rows, err := harness.CacheSweep(*parallel, benches, points)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatCacheSweep(points, rows))
+		if *jsonPath != "" {
+			path := *jsonPath
+			if figure5JSONWritten {
+				path += ".cachesweep.json" // both matrices requested: keep both files
+			}
+			if err := writeSweepJSON(path, points, rows, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
 		}
 	}
 }
 
-// benchJSON is the file layout of -json: the Figure 5 series plus enough
-// run metadata (worker count, wall clock, simulated cycle totals) to track
-// harness performance across revisions.
+func benchList(names []string) ([]*workload.Benchmark, error) {
+	if len(names) == 0 {
+		return workload.All(), nil
+	}
+	benches := make([]*workload.Benchmark, 0, len(names))
+	for _, n := range names {
+		b := workload.ByName(n)
+		if b == nil {
+			return nil, fmt.Errorf("unknown benchmark %s", n)
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}
+
+// benchJSON is the file layout of -figure5 -json: the Figure 5 series plus
+// enough run metadata (worker count, wall clock, simulated cycle totals) to
+// track harness performance across revisions.
 type benchJSON struct {
 	Schema              string    `json:"schema"`
 	Workers             int       `json:"workers"`
@@ -128,6 +186,65 @@ func writeJSON(path string, rows []harness.Figure5Row, workers int, elapsed time
 		out.Means.FP = append(out.Means.FP, m.FP[c])
 		out.Means.Int = append(out.Means.Int, m.Int[c])
 		out.Means.All = append(out.Means.All, m.All[c])
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sweepJSON is the file layout of -cachesweep -json: per (benchmark, budget)
+// normalized time plus the cache-management counters that explain it.
+type sweepJSON struct {
+	Schema           string         `json:"schema"`
+	Workers          int            `json:"workers"`
+	WallClockSeconds float64        `json:"wall_clock_seconds"`
+	Points           []pointJSON    `json:"points"`
+	Rows             []sweepRowJSON `json:"rows"`
+	Means            []float64      `json:"means"`
+}
+
+type pointJSON struct {
+	Name     string `json:"name"`
+	Bytes    int    `json:"bytes"`
+	Adaptive bool   `json:"adaptive"`
+}
+
+type sweepRowJSON struct {
+	Benchmark     string    `json:"benchmark"`
+	Class         string    `json:"class"`
+	Normalized    []float64 `json:"normalized"`
+	Cycles        []uint64  `json:"cycles"`
+	Evictions     []uint64  `json:"evictions"`
+	Regenerations []uint64  `json:"regenerations"`
+	CacheResizes  []uint64  `json:"cache_resizes"`
+	BBLiveBytes   []uint64  `json:"bb_live_bytes"`
+	TrLiveBytes   []uint64  `json:"trace_live_bytes"`
+}
+
+func writeSweepJSON(path string, points []harness.CachePoint, rows []harness.CacheSweepRow, workers int, elapsed time.Duration) error {
+	out := sweepJSON{
+		Schema:           "drbench/cachesweep/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+		Means:            harness.CacheSweepMeans(points, rows),
+	}
+	for _, p := range points {
+		out.Points = append(out.Points, pointJSON{Name: p.Name, Bytes: p.Bytes, Adaptive: p.Adaptive})
+	}
+	for _, r := range rows {
+		row := sweepRowJSON{Benchmark: r.Benchmark, Class: r.Class.String()}
+		for _, c := range r.Cells {
+			row.Normalized = append(row.Normalized, c.Normalized)
+			row.Cycles = append(row.Cycles, c.Ticks.Cycles())
+			row.Evictions = append(row.Evictions, c.Stats.Evictions)
+			row.Regenerations = append(row.Regenerations, c.Stats.Regenerations)
+			row.CacheResizes = append(row.CacheResizes, c.Stats.CacheResizes)
+			row.BBLiveBytes = append(row.BBLiveBytes, c.Stats.BBCacheLiveBytes)
+			row.TrLiveBytes = append(row.TrLiveBytes, c.Stats.TraceCacheLiveBytes)
+		}
+		out.Rows = append(out.Rows, row)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -27,6 +27,23 @@ type (
 	Client  = core.Client
 
 	EndTraceDecision = core.EndTraceDecision
+
+	// FragmentKind distinguishes basic blocks from traces in the cache
+	// management events below.
+	FragmentKind = core.FragmentKind
+
+	// FragmentEvictedHook and CacheResizedHook are the capacity-management
+	// events of the bounded code caches (Section 6): eviction of a
+	// fragment under cache pressure, and adaptive or forced growth of a
+	// cache's capacity.
+	FragmentEvictedHook = core.FragmentEvictedHook
+	CacheResizedHook    = core.CacheResizedHook
+)
+
+// Fragment kinds.
+const (
+	KindBasicBlock = core.KindBasicBlock
+	KindTrace      = core.KindTrace
 )
 
 // End-trace decisions (Section 3.5).

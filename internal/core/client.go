@@ -58,6 +58,21 @@ type FragmentDeletedHook interface {
 	FragmentDeleted(ctx *Context, tag machine.Addr)
 }
 
+// FragmentEvictedHook is called when a fragment is evicted from a bounded
+// cache under capacity pressure (Section 6's FIFO replacement). The deleted
+// event fires too; this one additionally tells capacity-aware clients which
+// cache evicted and lets them distinguish eviction from invalidation.
+type FragmentEvictedHook interface {
+	FragmentEvicted(ctx *Context, tag machine.Addr, kind FragmentKind)
+}
+
+// CacheResizedHook is called when a bounded cache's capacity grows, either
+// adaptively (the regeneration ratio exceeded its threshold) or because a
+// single fragment outgrew the budget.
+type CacheResizedHook interface {
+	CacheResized(ctx *Context, kind FragmentKind, oldBytes, newBytes int)
+}
+
 // EndTraceDecision is a client's answer to dynamorio_end_trace.
 type EndTraceDecision int
 

@@ -34,11 +34,16 @@ const (
 	offLocalHeap = 0x10000 // thread-private client allocations
 )
 
+// RuntimeBase is the lowest runtime-reserved simulated address: everything
+// below it is application memory. The differential tests digest [0,
+// RuntimeBase) to compare application memory across cache configurations.
+const RuntimeBase = bbCacheBase
+
 // IsRuntimeAddress reports whether a simulated address belongs to the
 // runtime's reserved regions (code caches, TLS, transparent allocations)
 // rather than to the application. Client analyses use it to know that
 // stores to such addresses cannot alias application memory.
-func IsRuntimeAddress(a machine.Addr) bool { return a >= bbCacheBase }
+func IsRuntimeAddress(a machine.Addr) bool { return a >= RuntimeBase }
 
 // BranchType distinguishes the three kinds of indirect control transfer;
 // each gets its own lookup routine copy (as in DynamoRIO), giving the
@@ -66,8 +71,20 @@ type Context struct {
 	// SharedCache ablation is on).
 	frags map[machine.Addr]*Fragment
 
-	bbBase, bbNext, bbLimit          machine.Addr
-	traceBase, traceNext, traceLimit machine.Addr
+	// Per-thread cache allocators (see eviction.go for the bounded FIFO
+	// policy; unbounded regions use the legacy flush-on-full policy).
+	bb    cacheRegion
+	trace cacheRegion
+
+	// evicted remembers tags whose fragments were evicted under capacity
+	// pressure (one bit per FragmentKind), so that a rebuild is counted as
+	// a regeneration — the signal driving adaptive cache sizing.
+	evicted map[machine.Addr]uint8
+
+	// Deferred eviction/resize client events, delivered with the deleted
+	// events at the next dispatcher safe point.
+	pendingEvicted []evictedEvent
+	pendingResized []resizedEvent
 
 	// inReplace is set while ReplaceFragment emits the new version: a
 	// thread may still be executing old cache code then, so flush-based
@@ -213,23 +230,16 @@ func (c *Context) stale(f *Fragment) bool {
 
 // invalidateTag discards the fragment chain registered for tag: all links
 // in and out are severed, the lookup tables forget it, and deletion events
-// are delivered at the next safe point. Cache memory is not reused (dead
-// code stays valid for any thread still inside it).
+// are delivered at the next safe point. Cache memory is not reused here
+// (dead code stays valid for any thread still inside it); a bounded cache's
+// allocator reclaims the bytes at a later safe point.
 func (c *Context) invalidateTag(tag machine.Addr) {
 	f := c.frags[tag]
 	if f == nil {
 		return
 	}
 	for cur := f; cur != nil; cur = cur.shadowedBy {
-		if cur.dead {
-			continue
-		}
-		c.rio.unlinkOutgoing(cur)
-		for e := range cur.inLinks {
-			c.rio.unlink(e)
-		}
-		cur.dead = true
-		c.pendingDeleted = append(c.pendingDeleted, cur)
+		c.killFragment(cur)
 	}
 	delete(c.frags, tag)
 	c.tableRemove(tag)
@@ -305,23 +315,21 @@ func (c *Context) tableRemove(tag machine.Addr) {
 	}
 }
 
-// allocCache reserves n bytes in the basic-block or trace cache. When the
-// cache is full it is flushed wholesale and the allocation retried — safe
-// because fragment construction only happens from the dispatcher, when the
-// thread is outside the cache (a replacement in flight disables reuse; see
-// inReplace).
+// allocCache reserves n bytes in the basic-block or trace cache. A bounded
+// region uses the FIFO-evicting circular allocator (eviction.go). An
+// unbounded region that fills is flushed wholesale and the allocation
+// retried — safe because fragment construction only happens from the
+// dispatcher, when the thread is outside the cache (a replacement in flight
+// disables reuse; see inReplace).
 func (c *Context) allocCache(kind FragmentKind, n int) machine.Addr {
+	reg := c.region(kind)
+	if reg.bounded {
+		return c.allocBounded(reg, n)
+	}
 	for attempt := 0; ; attempt++ {
-		var next *machine.Addr
-		var limit machine.Addr
-		if kind == KindTrace {
-			next, limit = &c.traceNext, c.traceLimit
-		} else {
-			next, limit = &c.bbNext, c.bbLimit
-		}
-		a := *next
-		if a+machine.Addr(n) <= limit {
-			*next += machine.Addr((n + 15) &^ 15) // keep fragments 16-aligned
+		a := reg.next
+		if a+machine.Addr(n) <= reg.limit {
+			reg.next += machine.Addr((n + 15) &^ 15) // keep fragments 16-aligned
 			return a
 		}
 		if attempt > 0 || c.rio.Opts.SharedCache || c.inReplace {
@@ -340,7 +348,8 @@ func (c *Context) allocCache(kind FragmentKind, n int) machine.Addr {
 // patched afterwards.
 func (c *Context) flushForReuse() {
 	c.FlushAll()
-	c.bbNext = c.bbBase
-	c.traceNext = c.traceBase
+	c.bb.reset()
+	c.trace.reset()
+	c.updateLiveGauges()
 	c.lastExit = nil
 }

@@ -176,19 +176,42 @@ func (r *RIO) enter(ctx *Context, f *Fragment) (machine.TrapAction, error) {
 	return machine.TrapContinue, nil
 }
 
-// deliverDeleted fires deferred fragment-deleted events (the safe point of
-// the replacement scheme).
+// deliverDeleted fires deferred fragment-deleted, fragment-evicted and
+// cache-resized events (the safe point of the replacement scheme). Evicted
+// fragments get both events: deleted keeps client data structures
+// consistent, evicted tells capacity-aware clients why.
 func (r *RIO) deliverDeleted(ctx *Context) {
-	if len(ctx.pendingDeleted) == 0 {
-		return
+	if len(ctx.pendingDeleted) > 0 {
+		dead := ctx.pendingDeleted
+		ctx.pendingDeleted = nil
+		for _, f := range dead {
+			r.Stats.FragmentsDeleted++
+			for _, cl := range r.Clients {
+				if h, ok := cl.(FragmentDeletedHook); ok {
+					h.FragmentDeleted(ctx, f.Tag)
+				}
+			}
+		}
 	}
-	dead := ctx.pendingDeleted
-	ctx.pendingDeleted = nil
-	for _, f := range dead {
-		r.Stats.FragmentsDeleted++
-		for _, cl := range r.Clients {
-			if h, ok := cl.(FragmentDeletedHook); ok {
-				h.FragmentDeleted(ctx, f.Tag)
+	if len(ctx.pendingEvicted) > 0 {
+		ev := ctx.pendingEvicted
+		ctx.pendingEvicted = nil
+		for _, e := range ev {
+			for _, cl := range r.Clients {
+				if h, ok := cl.(FragmentEvictedHook); ok {
+					h.FragmentEvicted(ctx, e.tag, e.kind)
+				}
+			}
+		}
+	}
+	if len(ctx.pendingResized) > 0 {
+		rs := ctx.pendingResized
+		ctx.pendingResized = nil
+		for _, e := range rs {
+			for _, cl := range r.Clients {
+				if h, ok := cl.(CacheResizedHook); ok {
+					h.CacheResized(ctx, e.kind, e.oldBytes, e.newBytes)
+				}
 			}
 		}
 	}

@@ -193,6 +193,7 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 
 	r.chargeShared()
 	ctx.register(f)
+	ctx.noteFragment(f)
 	return f
 }
 

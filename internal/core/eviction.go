@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Cache capacity management (Section 6 of the paper).
+//
+// Each thread-private cache (basic-block and trace) can be given a byte
+// budget. A bounded cache is managed as a circular buffer: allocation bumps
+// a pointer through [base, limit), and when the pointer runs into resident
+// code the oldest fragments are evicted to make room — FIFO replacement,
+// which the paper reports matches cleverer policies at none of the profiling
+// cost. Eviction fully unlinks the victim (outgoing links, incoming links,
+// its IBL hashtable entry), restores trace-head state so the block can
+// become hot and be rebuilt later, and hands the bytes back to the allocator
+// for reuse.
+//
+// Adaptive sizing (Section 6.2) watches the ratio of regenerated fragments
+// (rebuilds of previously evicted tags) to replaced fragments per epoch of
+// evictions: a high ratio means the working set does not fit and the cache
+// grows; a low ratio means the cache is comfortably cycling cold code and
+// stays put.
+
+// cacheRegion is the allocator state of one thread cache.
+type cacheRegion struct {
+	kind FragmentKind
+
+	base  machine.Addr
+	next  machine.Addr
+	limit machine.Addr // base + current capacity
+	max   machine.Addr // base + cacheStride: the address-reservation ceiling
+
+	// bounded selects the FIFO-evicting circular allocator; unbounded
+	// regions keep the legacy bump-then-flush-wholesale policy.
+	bounded bool
+
+	// resident holds every fragment whose bytes are still reserved in the
+	// region — live or dead-awaiting-reuse. The allocator frees space by
+	// reclaiming the nearest resident ahead of the bump pointer, which
+	// under bump allocation is also the oldest: FIFO order without a queue.
+	resident []*Fragment
+
+	// liveBytes is the aligned footprint of the non-dead residents.
+	liveBytes int
+
+	// Adaptive-sizing epoch counters.
+	epochEvictions int
+	epochRegens    int
+}
+
+// newRegion builds one thread cache's allocator state. A positive byte
+// budget selects the bounded FIFO policy — except under the SharedCache
+// ablation, where eviction is unsafe (another thread may be executing the
+// victim) and the legacy policy is kept.
+func newRegion(kind FragmentKind, base, size machine.Addr, budget int, shared bool) cacheRegion {
+	reg := cacheRegion{kind: kind, base: base, next: base, limit: base + size, max: base + cacheStride}
+	if budget > 0 && !shared {
+		b := machine.Addr((budget + 15) &^ 15)
+		if b > cacheStride {
+			b = cacheStride
+		}
+		reg.limit = base + b
+		reg.bounded = true
+	}
+	return reg
+}
+
+func (reg *cacheRegion) capacity() int { return int(reg.limit - reg.base) }
+
+// reset empties the region's allocator state (wholesale flush).
+func (reg *cacheRegion) reset() {
+	reg.next = reg.base
+	reg.resident = reg.resident[:0]
+	reg.liveBytes = 0
+}
+
+// alignedSize is the cache footprint of a fragment: emitted bytes rounded up
+// to the 16-byte allocation granularity.
+func (f *Fragment) alignedSize() int { return (f.Size + 15) &^ 15 }
+
+// Dead reports whether the fragment has been invalidated, flushed, replaced
+// or evicted and awaits (or is past) its deletion event.
+func (f *Fragment) Dead() bool { return f.dead }
+
+// region returns the allocator state for a fragment kind.
+func (c *Context) region(kind FragmentKind) *cacheRegion {
+	if kind == KindTrace {
+		return &c.trace
+	}
+	return &c.bb
+}
+
+// evictedEvent and resizedEvent are deferred client notifications, delivered
+// at the next dispatcher safe point alongside fragment-deleted events.
+type evictedEvent struct {
+	tag  machine.Addr
+	kind FragmentKind
+}
+
+type resizedEvent struct {
+	kind     FragmentKind
+	oldBytes int
+	newBytes int
+}
+
+// allocBounded reserves n bytes in a bounded region, evicting the oldest
+// resident fragments as needed. Callers guarantee the thread is outside the
+// code cache (the dispatcher invariant) — except under inReplace, where no
+// resident bytes may be reused and the region grows instead.
+func (c *Context) allocBounded(reg *cacheRegion, n int) machine.Addr {
+	need := machine.Addr((n + 15) &^ 15)
+	// A fragment larger than the whole budget forces a permanent grow: the
+	// budget is a working-set target, not a correctness bound.
+	if int(need) > reg.capacity() {
+		c.growRegion(reg, int(need))
+	}
+	wrapped := false
+	for {
+		// The free run ahead of the bump pointer ends at the nearest
+		// resident fragment, or at the region limit.
+		obstacle := reg.nearestResident(reg.next)
+		bound := reg.limit
+		if obstacle != nil {
+			bound = obstacle.Entry
+		}
+		if need <= bound-reg.next {
+			a := reg.next
+			reg.next += need
+			return a
+		}
+		if obstacle != nil {
+			if c.inReplace {
+				// The thread may be executing resident code: nothing may
+				// be reused. Jump past everything and extend the region.
+				before := reg.capacity()
+				reg.next = reg.limit
+				c.growRegion(reg, before+int(need))
+				if reg.capacity() == before {
+					panic(fmt.Sprintf("core: %s cache reservation exhausted during replacement (thread %d)",
+						reg.kind, c.thread.ID))
+				}
+				continue
+			}
+			c.reclaim(reg, obstacle)
+			continue
+		}
+		// Virgin tail too small: wrap to the base (the classic wasted
+		// slot at the end of a circular cache).
+		if wrapped {
+			// A full lap without room means the region cannot hold the
+			// fragment even when empty; the grow above prevents this
+			// unless the address reservation itself is exhausted.
+			panic(fmt.Sprintf("core: bounded %s cache cannot place %d bytes (thread %d)",
+				reg.kind, n, c.thread.ID))
+		}
+		wrapped = true
+		reg.next = reg.base
+	}
+}
+
+// nearestResident returns the resident fragment with the lowest entry at or
+// above a, or nil. Bump allocation makes address order equal allocation
+// order, so the nearest fragment ahead of the pointer is the oldest one
+// still occupying space — the FIFO victim.
+func (reg *cacheRegion) nearestResident(a machine.Addr) *Fragment {
+	var best *Fragment
+	for _, f := range reg.resident {
+		if f.Entry >= a && (best == nil || f.Entry < best.Entry) {
+			best = f
+		}
+	}
+	return best
+}
+
+// reclaim releases one resident fragment's bytes for reuse, evicting it
+// first if it is still live. Any runtime pointer that could lead back into
+// the reclaimed bytes (the dispatcher's last-exit record, the trace
+// selector's unlinked fragment) is cleared.
+func (c *Context) reclaim(reg *cacheRegion, f *Fragment) {
+	for i, r := range reg.resident {
+		if r == f {
+			last := len(reg.resident) - 1
+			reg.resident[i] = reg.resident[last]
+			reg.resident = reg.resident[:last]
+			break
+		}
+	}
+	if !f.dead {
+		c.evict(f)
+	}
+	if c.lastExit != nil && c.lastExit.Owner == f {
+		c.lastExit = nil
+	}
+	if c.selUnlinked == f {
+		c.selUnlinked = nil
+	}
+}
+
+// evict removes a live fragment from the cache under capacity pressure: the
+// full deletion protocol plus the bookkeeping that lets the block come back
+// cleanly — the lookup tables are scrubbed (restoring a shadowed basic
+// block's mapping when a trace is evicted, or promoting a surviving trace
+// when its head block is evicted), the trace-head counter is reset so the
+// tag must re-earn trace creation, and the tag is remembered so a rebuild is
+// counted as a regeneration.
+func (c *Context) evict(f *Fragment) {
+	r := c.rio
+	c.killFragment(f)
+
+	switch owner := c.frags[f.Tag]; {
+	case owner == f:
+		if sh := f.shadowedBy; f.Kind == KindBasicBlock && sh != nil && !sh.dead {
+			// The shadowing trace survives its head block's eviction and
+			// now owns the tag outright (the IBL slot already maps to it).
+			c.frags[f.Tag] = sh
+		} else {
+			delete(c.frags, f.Tag)
+			c.tableRemove(f.Tag)
+		}
+	case owner != nil && owner.shadowedBy == f:
+		// The evicted trace shadowed its head's basic block: put the
+		// block back in charge of the tag.
+		owner.shadowedBy = nil
+		c.tableInsert(f.Tag, owner.Entry)
+	}
+	delete(c.headCounter, f.Tag)
+
+	if c.evicted == nil {
+		c.evicted = map[machine.Addr]uint8{}
+	}
+	c.evicted[f.Tag] |= 1 << f.Kind
+
+	r.Stats.Evictions++
+	c.pendingEvicted = append(c.pendingEvicted, evictedEvent{tag: f.Tag, kind: f.Kind})
+
+	reg := c.region(f.Kind)
+	reg.epochEvictions++
+	if r.Opts.AdaptiveCache && reg.epochEvictions >= r.Opts.ResizeEpoch {
+		if float64(reg.epochRegens) > r.Opts.RegenThreshold*float64(reg.epochEvictions) {
+			c.growRegion(reg, 2*reg.capacity())
+		}
+		reg.epochEvictions, reg.epochRegens = 0, 0
+	}
+}
+
+// growRegion raises a bounded region's capacity to at least newCap bytes,
+// clamped to the per-thread address reservation, and queues the client
+// resize event.
+func (c *Context) growRegion(reg *cacheRegion, newCap int) {
+	newCap = (newCap + 15) &^ 15
+	if machine.Addr(newCap) > reg.max-reg.base {
+		newCap = int(reg.max - reg.base)
+	}
+	if newCap <= reg.capacity() {
+		return // already at (or past) the requested size, or at the ceiling
+	}
+	old := reg.capacity()
+	reg.limit = reg.base + machine.Addr(newCap)
+	c.rio.Stats.CacheResizes++
+	c.pendingResized = append(c.pendingResized, resizedEvent{kind: reg.kind, oldBytes: old, newBytes: newCap})
+}
+
+// killFragment is the single path to fragment death: it severs every link in
+// and out, marks the fragment dead, updates the live-byte accounting and
+// queues the deletion event for the next safe point. The bytes are NOT freed
+// here — reuse is the allocator's decision (reclaim), made only when the
+// thread is known to be outside the cache. Callers are responsible for the
+// lookup-table updates, which differ by death cause.
+func (c *Context) killFragment(f *Fragment) {
+	if f.dead {
+		return
+	}
+	r := c.rio
+	r.unlinkOutgoing(f)
+	for e := range f.inLinks {
+		r.unlink(e)
+	}
+	f.dead = true
+	if reg := f.ctx.region(f.Kind); reg.bounded {
+		reg.liveBytes -= f.alignedSize()
+		f.ctx.updateLiveGauges()
+	}
+	c.pendingDeleted = append(c.pendingDeleted, f)
+}
+
+// noteFragment records a freshly emitted fragment with its region's
+// allocator and counts regenerations (rebuilds of tags evicted earlier).
+func (c *Context) noteFragment(f *Fragment) {
+	reg := c.region(f.Kind)
+	if !reg.bounded {
+		return
+	}
+	reg.resident = append(reg.resident, f)
+	reg.liveBytes += f.alignedSize()
+	c.updateLiveGauges()
+	bit := uint8(1) << f.Kind
+	if c.evicted[f.Tag]&bit != 0 {
+		c.evicted[f.Tag] &^= bit
+		c.rio.Stats.Regenerations++
+		reg.epochRegens++
+	}
+}
+
+// updateLiveGauges mirrors the per-region live-byte counts into Stats.
+func (c *Context) updateLiveGauges() {
+	c.rio.Stats.BBCacheLiveBytes = uint64(c.bb.liveBytes)
+	c.rio.Stats.TraceCacheLiveBytes = uint64(c.trace.liveBytes)
+}
+
+// CacheUsage reports the live fragment bytes and current capacity of one of
+// this thread's caches.
+func (c *Context) CacheUsage(kind FragmentKind) (liveBytes, capacity int) {
+	reg := c.region(kind)
+	return reg.liveBytes, reg.capacity()
+}
+
+// CheckCacheInvariants validates the runtime's cache data structures after
+// eviction activity, returning the first violation found:
+//
+//   - residents of a bounded cache lie inside the region and are pairwise
+//     disjoint (freed bytes are reused, never double-booked), and the live
+//     ones match the byte accounting and fit the budget;
+//   - no live fragment's outgoing link targets a dead fragment, and every
+//     link is mirrored by the target's incoming-link record;
+//   - no IBL hashtable entry maps a tag to an address that is not the entry
+//     of a live fragment for that tag.
+//
+// It is the oracle behind the eviction property tests and is cheap enough to
+// run after every dispatch in them.
+func (c *Context) CheckCacheInvariants() error {
+	for _, reg := range []*cacheRegion{&c.bb, &c.trace} {
+		if !reg.bounded {
+			continue
+		}
+		live := 0
+		frags := append([]*Fragment(nil), reg.resident...)
+		sort.Slice(frags, func(i, j int) bool { return frags[i].Entry < frags[j].Entry })
+		var prevEnd machine.Addr
+		for i, f := range frags {
+			if !f.dead {
+				live += f.alignedSize()
+			}
+			if f.Entry < reg.base || f.Entry+machine.Addr(f.alignedSize()) > reg.limit {
+				return fmt.Errorf("%s fragment %v outside region [%#x,%#x)",
+					reg.kind, f, reg.base, reg.limit)
+			}
+			if i > 0 && f.Entry < prevEnd {
+				return fmt.Errorf("%s fragments overlap at %#x", reg.kind, f.Entry)
+			}
+			prevEnd = f.Entry + machine.Addr(f.alignedSize())
+		}
+		if live != reg.liveBytes {
+			return fmt.Errorf("%s live-byte accounting: counted %d, tracked %d",
+				reg.kind, live, reg.liveBytes)
+		}
+		if live > reg.capacity() {
+			return fmt.Errorf("%s cache over budget: %d live > %d capacity",
+				reg.kind, live, reg.capacity())
+		}
+	}
+
+	for tag, f := range c.frags {
+		for cur := f; cur != nil; cur = cur.shadowedBy {
+			if cur.dead {
+				return fmt.Errorf("dead fragment %v still registered for tag %#x", cur, tag)
+			}
+			for _, e := range cur.Exits {
+				if e.state == stateLinkedFrag {
+					t := e.linkedTo
+					if t == nil {
+						return fmt.Errorf("%v exit %d linked with nil target", cur, e.Index)
+					}
+					if t.dead {
+						return fmt.Errorf("%v exit %d targets dead fragment %v", cur, e.Index, t)
+					}
+					if _, ok := t.inLinks[e]; !ok {
+						return fmt.Errorf("%v exit %d not mirrored in %v's inLinks", cur, e.Index, t)
+					}
+				}
+			}
+			for e := range cur.inLinks {
+				if e.linkedTo != cur {
+					return fmt.Errorf("stale inLink on %v from %v exit %d", cur, e.Owner, e.Index)
+				}
+				if e.Owner.dead {
+					return fmt.Errorf("dead fragment %v still linked into %v", e.Owner, cur)
+				}
+			}
+			if cur.shadowedBy == cur {
+				return fmt.Errorf("fragment %v shadows itself", cur)
+			}
+		}
+	}
+
+	if c.rio.Opts.LinkIndirect {
+		mem := c.rio.M.Mem
+		for i := machine.Addr(0); i <= machine.Addr(c.tableMask); i++ {
+			slot := c.tableBase + i*8
+			tag := mem.Read32(slot)
+			if tag == 0 {
+				continue
+			}
+			dest := mem.Read32(slot + 4)
+			ok := false
+			for cur := c.frags[tag]; cur != nil; cur = cur.shadowedBy {
+				if !cur.dead && cur.Entry == dest {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("IBL slot %d maps tag %#x to %#x with no live fragment there", i, tag, dest)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package core_test
+
+// The differential oracle for cache capacity management: eviction is a
+// performance mechanism, so it may change every performance counter but must
+// never change the simulated architectural state the application computes.
+// Each workload of the synthetic SPEC2000 suite runs under an unbounded
+// cache, a 4 KiB bounded cache, a maximally-thrashing bounded cache, and an
+// adaptively-sized cache; the final registers (EIP excepted — the same halt
+// instruction lives at a different cache address in each run), eflags, exit
+// codes, program output, application-memory digest and syscall trace must be
+// bit-identical across all four, while the pressured configurations must
+// actually evict and regenerate fragments for the comparison to mean
+// anything.
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// diffRunLimit bounds one simulated run (instructions); matches the harness.
+const diffRunLimit = 600_000_000
+
+// threadState is one thread's architectural endpoint.
+type threadState struct {
+	Regs   [8]uint32
+	Eflags uint32
+	Halted bool
+	Exit   int32
+}
+
+// oracleState is everything eviction must not change.
+type oracleState struct {
+	Threads  []threadState
+	Output   string
+	Digest   uint64
+	Syscalls []machine.SyscallRecord
+}
+
+// deadStackBand is how far below each thread's final ESP memory is treated
+// as dead and zeroed before digesting. The runtime's mangled sequences
+// (inline-check pushfd, clean-call pushes) legitimately leave different
+// garbage below the live stack than the native run's own dead pushes; bytes
+// at or above ESP — the live stack — stay fully compared. The band bound is
+// deterministic across configurations because final ESP itself is part of
+// the compared register state.
+const deadStackBand = 256 << 10
+
+// captureState snapshots the machine's architectural endpoint. EIP is
+// excluded: threads halt inside cache code, whose address legitimately
+// depends on the cache configuration.
+func captureState(m *machine.Machine) oracleState {
+	zeros := make([]byte, 4096)
+	for _, t := range m.Threads {
+		esp := t.CPU.R[4]
+		lo := esp - deadStackBand
+		if lo > esp {
+			lo = 0 // underflow
+		}
+		for a := lo; a < esp; a += uint32(len(zeros)) {
+			n := esp - a
+			if n > uint32(len(zeros)) {
+				n = uint32(len(zeros))
+			}
+			m.Mem.WriteBytes(a, zeros[:n])
+		}
+	}
+	s := oracleState{
+		Output:   string(m.Output),
+		Digest:   m.Mem.Digest(0, core.RuntimeBase),
+		Syscalls: m.SyscallTrace,
+	}
+	for _, t := range m.Threads {
+		s.Threads = append(s.Threads, threadState{
+			Regs:   t.CPU.R,
+			Eflags: t.CPU.Eflags,
+			Halted: t.Halted,
+			Exit:   t.ExitCode,
+		})
+	}
+	return s
+}
+
+func statesEqual(a, b oracleState) bool {
+	return slices.Equal(a.Threads, b.Threads) &&
+		a.Output == b.Output &&
+		a.Digest == b.Digest &&
+		slices.Equal(a.Syscalls, b.Syscalls)
+}
+
+// cacheConfig is one column of the differential matrix.
+type cacheConfig struct {
+	name      string
+	pressured bool // must record evictions
+	opts      func() core.Options
+}
+
+func diffConfigs() []cacheConfig {
+	return []cacheConfig{
+		{"unbounded", false, core.Default},
+		{"4k", true, func() core.Options {
+			o := core.Default()
+			o.BBCacheSize, o.TraceCacheSize = 4096, 4096
+			return o
+		}},
+		// A 16-byte budget forces the allocator's ratchet grow on every
+		// fragment larger than the largest seen so far, keeping capacity
+		// pinned near single-fragment size: maximal thrashing.
+		{"single-fragment", true, func() core.Options {
+			o := core.Default()
+			o.BBCacheSize, o.TraceCacheSize = 16, 16
+			return o
+		}},
+		{"adaptive", true, func() core.Options {
+			o := core.Default()
+			o.BBCacheSize, o.TraceCacheSize = 2048, 2048
+			o.AdaptiveCache = true
+			return o
+		}},
+	}
+}
+
+// TestEvictionDifferentialOracle runs the whole workload suite through the
+// matrix above and fails on the first architectural divergence.
+func TestEvictionDifferentialOracle(t *testing.T) {
+	configs := diffConfigs()
+	var (
+		totalEvictions uint64
+		totalResizes   uint64
+	)
+	done := make(chan *core.Stats, len(workload.All())*len(configs))
+
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+
+			native := machine.New(machine.PentiumIV())
+			b.Image().Boot(native)
+			if err := native.Run(diffRunLimit); err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			// The native run is the extra, fifth column of the matrix:
+			// registers and EIP-free state must match it too, not just be
+			// self-consistent across cache configurations.
+			want := captureState(native)
+
+			evictionsSeen := false
+			regensSeen := false
+			for _, cfg := range configs {
+				m := machine.New(machine.PentiumIV())
+				r := core.New(m, b.Image(), cfg.opts(), nil)
+				if err := r.Run(diffRunLimit); err != nil {
+					t.Fatalf("%s: %v", cfg.name, err)
+				}
+				got := captureState(m)
+				if !statesEqual(got, want) {
+					t.Errorf("%s: architectural state diverged from native:\n got %+v\nwant %+v",
+						cfg.name, got, want)
+				}
+				if cfg.pressured {
+					if r.Stats.Evictions > 0 {
+						evictionsSeen = true
+					}
+					if r.Stats.Regenerations > 0 {
+						regensSeen = true
+					}
+				} else if r.Stats.Evictions != 0 {
+					t.Errorf("%s: unbounded cache evicted %d fragments", cfg.name, r.Stats.Evictions)
+				}
+				stats := r.Stats
+				done <- &stats
+			}
+			if !evictionsSeen {
+				t.Error("no pressured configuration recorded any evictions: the differential matrix is vacuous")
+			}
+			if !regensSeen {
+				t.Error("no pressured configuration recorded any regenerations")
+			}
+		})
+	}
+
+	// After all parallel subtests: the suite as a whole must have exercised
+	// adaptive resizing somewhere. (Skipped under -run filtering of the
+	// subtests, when only part of the matrix executed.)
+	full := len(workload.All()) * len(configs)
+	t.Cleanup(func() {
+		close(done)
+		n := 0
+		for s := range done {
+			n++
+			totalEvictions += s.Evictions
+			totalResizes += s.CacheResizes
+		}
+		if n != full {
+			return
+		}
+		if totalEvictions == 0 {
+			t.Error("suite recorded zero evictions overall")
+		}
+		if totalResizes == 0 {
+			t.Error("suite recorded zero cache resizes overall: adaptive sizing never triggered")
+		}
+	})
+}

@@ -69,6 +69,24 @@ type Options struct {
 	// Dynamo-family systems used.
 	CacheSize int
 
+	// BBCacheSize and TraceCacheSize give the basic-block and trace caches
+	// individual byte budgets managed by FIFO eviction (Section 6): when a
+	// bounded cache fills, the oldest fragments are evicted one at a time
+	// and their space reused, instead of the wholesale CacheSize flush.
+	// 0 leaves the cache unbounded. Ignored under SharedCache, where
+	// another thread may be executing the eviction victim.
+	BBCacheSize    int
+	TraceCacheSize int
+
+	// AdaptiveCache lets a bounded cache grow itself: per epoch of
+	// ResizeEpoch evictions, if more than RegenThreshold of the evicted
+	// fragments were regenerations (rebuilds of previously evicted code),
+	// the working set does not fit and the cache capacity doubles
+	// (Section 6.2's regeneration/replacement ratio).
+	AdaptiveCache  bool
+	RegenThreshold float64 // default 0.5
+	ResizeEpoch    int     // default 32 evictions per epoch
+
 	Cost CostModel
 }
 

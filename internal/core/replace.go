@@ -106,16 +106,13 @@ func (c *Context) ReplaceFragment(tag machine.Addr, il *instr.List) bool {
 	nu.spans = old.spans
 
 	// Move every incoming link and shadow reference to the new version,
-	// and unlink the old fragment's own exits so any thread still inside
-	// it leaves through the dispatcher.
+	// then kill the old fragment: its own exits are unlinked so any thread
+	// still inside it leaves through the dispatcher.
 	r.redirectInLinks(old, nu)
-	r.unlinkOutgoing(old)
 	if bb := c.frags[tag]; bb != nil && bb.Kind == KindBasicBlock && bb.shadowedBy == old {
 		bb.shadowedBy = nu
 	}
-
-	old.dead = true
-	c.pendingDeleted = append(c.pendingDeleted, old)
+	c.killFragment(old)
 	return true
 }
 
@@ -145,15 +142,7 @@ func (r *RIO) runSideline(ctx *Context) {
 func (c *Context) FlushAll() {
 	for _, f := range c.frags {
 		for other := f; other != nil; other = other.shadowedBy {
-			if other.dead {
-				continue
-			}
-			c.rio.unlinkOutgoing(other)
-			for e := range other.inLinks {
-				c.rio.unlink(e)
-			}
-			other.dead = true
-			c.pendingDeleted = append(c.pendingDeleted, other)
+			c.killFragment(other)
 		}
 		c.tableRemove(f.Tag)
 	}

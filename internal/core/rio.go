@@ -24,6 +24,18 @@ type Stats struct {
 	StaleFragments   uint64
 	TraceHeadBumps   uint64
 	EmulatedInstrs   uint64
+
+	// Bounded-cache management (Section 6): fragments evicted under
+	// capacity pressure, evicted fragments later rebuilt (the signal
+	// driving adaptive sizing), and adaptive/forced capacity grows.
+	Evictions     uint64
+	Regenerations uint64
+	CacheResizes  uint64
+
+	// Live-fragment byte gauges, updated as fragments are created and die;
+	// with several threads they reflect the thread that changed last.
+	BBCacheLiveBytes    uint64
+	TraceCacheLiveBytes uint64
 }
 
 // RIO is one instance of the runtime attached to a machine and program.
@@ -75,6 +87,12 @@ func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clie
 	}
 	if opts.IBLTableBits == 0 {
 		opts.IBLTableBits = 8
+	}
+	if opts.RegenThreshold <= 0 {
+		opts.RegenThreshold = 0.5
+	}
+	if opts.ResizeEpoch <= 0 {
+		opts.ResizeEpoch = 32
 	}
 	r := &RIO{
 		M:        m,
@@ -147,12 +165,8 @@ func (r *RIO) setupThread(t *machine.Thread, startTag machine.Addr) {
 		size = machine.Addr(r.Opts.CacheSize)
 	}
 	ctx.tls = tlsBase + machine.Addr(t.ID)*tlsStride // TLS is always private
-	ctx.bbBase = bbCacheBase + slot*cacheStride
-	ctx.bbNext = ctx.bbBase
-	ctx.bbLimit = ctx.bbBase + size
-	ctx.traceBase = traceCacheBase + slot*cacheStride
-	ctx.traceNext = ctx.traceBase
-	ctx.traceLimit = ctx.traceBase + size
+	ctx.bb = newRegion(KindBasicBlock, bbCacheBase+slot*cacheStride, size, r.Opts.BBCacheSize, r.Opts.SharedCache)
+	ctx.trace = newRegion(KindTrace, traceCacheBase+slot*cacheStride, size, r.Opts.TraceCacheSize, r.Opts.SharedCache)
 	ctx.tableBase = tlsBase + slot*tlsStride + offIBLTable
 	ctx.tableMask = 1<<r.Opts.IBLTableBits - 1
 
@@ -218,6 +232,10 @@ func (r *RIO) fireExitEvents() {
 		if ctx == nil {
 			continue
 		}
+		// A thread that halts right after an eviction never reaches another
+		// dispatch safe point; its deferred events are still owed. The thread
+		// is stopped, so delivery is safe here.
+		r.deliverDeleted(ctx)
 		for _, cl := range r.Clients {
 			if h, ok := cl.(ThreadExitHook); ok {
 				h.ThreadExit(ctx)

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// sweepSubset is a reduced matrix: two small benchmarks whose working sets
+// exceed the tight budget, across the three interesting regimes (pressured,
+// unbounded, adaptive).
+func sweepSubset(t *testing.T) ([]*workload.Benchmark, []CachePoint) {
+	t.Helper()
+	var benches []*workload.Benchmark
+	for _, n := range []string{"crafty", "gzip"} {
+		b := workload.ByName(n)
+		if b == nil {
+			t.Fatalf("workload %q not in suite", n)
+		}
+		benches = append(benches, b)
+	}
+	points := []CachePoint{
+		{Name: "512", Bytes: 512},
+		{Name: "unbounded", Bytes: 0},
+		{Name: "adaptive", Bytes: 512, Adaptive: true},
+	}
+	return benches, points
+}
+
+func TestCacheSweep(t *testing.T) {
+	benches, points := sweepSubset(t)
+	rows, err := CacheSweep(0, benches, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benches) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(benches))
+	}
+	for _, r := range rows {
+		pressured, unbounded, adaptive := r.Cells[0], r.Cells[1], r.Cells[2]
+		if pressured.Stats.Evictions == 0 {
+			t.Errorf("%s: tight budget recorded no evictions", r.Benchmark)
+		}
+		if unbounded.Stats.Evictions != 0 {
+			t.Errorf("%s: unbounded cache evicted %d fragments", r.Benchmark, unbounded.Stats.Evictions)
+		}
+		if adaptive.Stats.CacheResizes == 0 {
+			t.Errorf("%s: adaptive sizing never resized", r.Benchmark)
+		}
+		// Adaptive starts at the tight budget but must not end up slower
+		// than staying there (the whole point of Section 6.2).
+		if adaptive.Normalized > pressured.Normalized {
+			t.Errorf("%s: adaptive (%.3f) slower than fixed tight budget (%.3f)",
+				r.Benchmark, adaptive.Normalized, pressured.Normalized)
+		}
+		for p, c := range r.Cells {
+			if c.Normalized <= 0 || c.Ticks == 0 {
+				t.Errorf("%s/%s: empty cell", r.Benchmark, points[p].Name)
+			}
+		}
+	}
+}
+
+// TestCacheSweepDeterministic pins the bit-identical-for-any-worker-count
+// contract of the sweep matrix (same contract as RunMatrix).
+func TestCacheSweepDeterministic(t *testing.T) {
+	benches, points := sweepSubset(t)
+	serial, err := CacheSweep(1, benches, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := CacheSweep(0, benches, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("sweep rows differ between 1 worker and GOMAXPROCS workers:\n%+v\n%+v", serial, wide)
+	}
+}

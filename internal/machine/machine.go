@@ -120,6 +120,12 @@ type Machine struct {
 	// (the transparency check).
 	Output []byte
 
+	// SyscallTrace records every system call with its architectural
+	// inputs, in execution order across all threads. Like Output it is
+	// observable behaviour: the differential tests require the trace of an
+	// instrumented run to be bit-identical to the native run's.
+	SyscallTrace []SyscallRecord
+
 	traps    map[Addr]TrapFunc
 	nextTrap Addr
 
@@ -164,9 +170,9 @@ type Stats struct {
 type cachedInst struct {
 	inst   ia32.Inst
 	fn     execThunk
-	next   Addr  // EIP after fall-through (entry pc + inst.Len)
-	target Addr  // direct CTI target; ret: imm16 stack adjustment
-	cost   Ticks // profile base cost of the opcode
+	next   Addr   // EIP after fall-through (entry pc + inst.Len)
+	target Addr   // direct CTI target; ret: imm16 stack adjustment
+	cost   Ticks  // profile base cost of the opcode
 	imm    uint32 // immediate value for specialized reg/imm thunks
 	gen    uint32
 	gen2   uint32 // generation of the second chunk when the instruction spans one

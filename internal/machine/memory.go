@@ -205,6 +205,57 @@ func (m *Memory) SubGen(a Addr) uint32 {
 	return 0
 }
 
+// Digest returns an FNV-1a checksum of the address range [lo, hi), covering
+// every allocated page that overlaps it (untouched pages read as zero and
+// are skipped, along with allocated pages whose overlap is all zero — so the
+// digest is insensitive to whether a zero region was ever paged in). The
+// differential tests use it to compare final application memory below the
+// runtime-reserved region across cache configurations.
+func (m *Memory) Digest(lo, hi Addr) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for pi := lo >> pageShift; pi <= (hi-1)>>pageShift; pi++ {
+		p := m.pages[pi]
+		if p == nil {
+			continue
+		}
+		start := Addr(0)
+		if base := pi << pageShift; base < lo {
+			start = lo - base
+		}
+		end := Addr(pageSize)
+		if base := pi << pageShift; base+pageSize > hi {
+			end = hi - base
+		}
+		slice := p.bytes[start:end]
+		allZero := true
+		for _, b := range slice {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		// Fold the page's address in so identical content at different
+		// addresses digests differently.
+		for _, b := range [4]byte{byte(pi), byte(pi >> 8), byte(pi >> 16), byte(start)} {
+			h = (h ^ uint64(b)) * prime64
+		}
+		for _, b := range slice {
+			h = (h ^ uint64(b)) * prime64
+		}
+		if pi == 0xFFFF {
+			break // pi+1 would wrap
+		}
+	}
+	return h
+}
+
 // String summarizes allocated pages (debugging aid).
 func (m *Memory) String() string {
 	n := 0

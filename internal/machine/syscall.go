@@ -19,11 +19,25 @@ const (
 // SyscallVector is the interrupt vector used for system calls.
 const SyscallVector = 0x80
 
+// SyscallRecord is one entry of the machine's syscall trace: the calling
+// thread and the architectural inputs of the call. The trace is part of the
+// observable behaviour of a program — an embedding runtime is transparent
+// only if the traced sequence is identical to the native run's.
+type SyscallRecord struct {
+	Thread int
+	Num    uint32 // eax
+	Arg1   uint32 // ebx
+	Arg2   uint32 // ecx
+}
+
 func (m *Machine) syscall(t *Thread, vector uint8) error {
 	if vector != SyscallVector {
 		return fmt.Errorf("machine: int %#x is not a system call vector", vector)
 	}
 	c := &t.CPU
+	m.SyscallTrace = append(m.SyscallTrace, SyscallRecord{
+		Thread: t.ID, Num: c.R[0], Arg1: c.R[3], Arg2: c.R[1],
+	})
 	switch c.R[0] { // eax
 	case SysExit:
 		t.ExitCode = int32(c.R[3]) // ebx
