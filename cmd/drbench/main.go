@@ -10,6 +10,8 @@
 //	drbench -figure5 -cache-bb 65536 -cache-trace 65536   # bounded caches
 //	drbench -cachesweep          # cache budget ladder: 22 benchmarks x 6 budgets
 //	drbench -cachesweep -json BENCH_cachesweep.json
+//	drbench -faultstorm          # fault-injection differential: 22 benchmarks x seeds x configs
+//	drbench -faultstorm -seeds 101,202,303 -json BENCH_faultstorm.json
 //	drbench -all                 # everything
 //	drbench -verify              # transparency matrix: 22 benchmarks x 11 configs
 //
@@ -35,6 +37,8 @@ func main() {
 		table2     = flag.Bool("table2", false, "reproduce Table 2")
 		figure5    = flag.Bool("figure5", false, "reproduce Figure 5")
 		cachesweep = flag.Bool("cachesweep", false, "run the cache-budget sweep (benchmarks x budget ladder)")
+		faultstorm = flag.Bool("faultstorm", false, "run the fault-injection differential (benchmarks x seeded schedules x cache configs)")
+		seedsFlag  = flag.String("seeds", "101,202,303", "comma-separated schedule seeds for -faultstorm")
 		all        = flag.Bool("all", false, "reproduce everything")
 		verify     = flag.Bool("verify", false, "run the transparency matrix: every benchmark under every configuration, checking output equality")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset for -figure5 and -cachesweep")
@@ -45,7 +49,7 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "enable adaptive cache resizing for -figure5 (needs a bounded cache)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*all && !*verify {
+	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*faultstorm && !*all && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -97,6 +101,7 @@ func main() {
 		}
 	}
 
+	cachesweepJSONWritten := false
 	if *cachesweep || *all {
 		points := harness.DefaultSweep()
 		start := time.Now()
@@ -116,9 +121,59 @@ func main() {
 				fmt.Fprintln(os.Stderr, "drbench:", err)
 				os.Exit(1)
 			}
+			cachesweepJSONWritten = true
 			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
 		}
 	}
+
+	if *faultstorm || *all {
+		seeds, err := parseSeeds(*seedsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		configs := harness.DefaultStormConfigs()
+		start := time.Now()
+		rows, err := harness.FaultStorm(*parallel, benches, seeds, configs)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatFaultStorm(seeds, configs, rows))
+		failed := false
+		for _, r := range rows {
+			if !r.Passed() {
+				failed = true
+			}
+		}
+		if *jsonPath != "" {
+			path := *jsonPath
+			if figure5JSONWritten || cachesweepJSONWritten {
+				path += ".faultstorm.json" // several matrices requested: keep all files
+			}
+			if err := writeStormJSON(path, seeds, rows, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(s, ",") {
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
 }
 
 func benchList(names []string) ([]*workload.Benchmark, error) {
@@ -245,6 +300,39 @@ func writeSweepJSON(path string, points []harness.CachePoint, rows []harness.Cac
 			row.TrLiveBytes = append(row.TrLiveBytes, c.Stats.TraceCacheLiveBytes)
 		}
 		out.Rows = append(out.Rows, row)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// stormJSON is the file layout of -faultstorm -json: per (benchmark, seed)
+// the injected plans, the native delivered-fault sequence, and each runtime
+// configuration's match verdict with the counters that prove the translation
+// and eviction paths ran.
+type stormJSON struct {
+	Schema           string             `json:"schema"`
+	Workers          int                `json:"workers"`
+	WallClockSeconds float64            `json:"wall_clock_seconds"`
+	Seeds            []int64            `json:"seeds"`
+	Rows             []harness.StormRow `json:"rows"`
+	Passed           int                `json:"passed"`
+}
+
+func writeStormJSON(path string, seeds []int64, rows []harness.StormRow, workers int, elapsed time.Duration) error {
+	out := stormJSON{
+		Schema:           "drbench/faultstorm/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+		Seeds:            seeds,
+		Rows:             rows,
+	}
+	for _, r := range rows {
+		if r.Passed() {
+			out.Passed++
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

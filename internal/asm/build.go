@@ -431,6 +431,13 @@ func (a *assembler) buildInst(it *item) (ia32.Inst, error) {
 				[]ia32.Operand{ops[1], sizeImm(ops[2], 4, true)})
 		}
 		return bad()
+	case "div":
+		// Unsigned divide: edx:eax / r·m32, implicit accumulator operands.
+		if err := need(1); err != nil {
+			return ia32.Inst{}, err
+		}
+		eax, edx := ia32.RegOp(ia32.EAX), ia32.RegOp(ia32.EDX)
+		return mkInst(ia32.OpDiv, []ia32.Operand{eax, edx}, []ia32.Operand{ops[0], eax, edx})
 	case "push":
 		if err := need(1); err != nil {
 			return ia32.Inst{}, err

@@ -158,15 +158,21 @@ func (r *RIO) mangleBlockEnd(ctx *Context, list *instr.List, tag machine.Addr) {
 		} else {
 			next = last.PC() + machine.Addr(last.Len())
 		}
-		list.Append(exitJmp(next))
+		list.Append(exitJmp(next).SetXl8(next, 0))
 		return
 	}
 
 	op := last.Opcode()
-	fallthru := last.PC() + machine.Addr(last.Len())
+	ctiPC := last.PC()
+	fallthru := ctiPC + machine.Addr(last.Len())
 	ecx := ia32.RegOp(ia32.ECX)
 	spillECX := ctx.spillOp(offSpillECX)
 
+	// Every synthetic instruction below is annotated with the application
+	// PC of the control transfer it stands in for, plus the scratch state a
+	// fault-time translator must restore to reach the native context of
+	// that boundary (emit records the annotations in the fragment's
+	// translation table).
 	switch {
 	case op == ia32.OpJmp:
 		// Already a direct exit.
@@ -174,13 +180,16 @@ func (r *RIO) mangleBlockEnd(ctx *Context, list *instr.List, tag machine.Addr) {
 
 	case op.IsCond():
 		last.SetExitClass(ClassDirect)
-		list.Append(exitJmp(fallthru))
+		list.Append(exitJmp(fallthru).SetXl8(fallthru, 0))
 
 	case op == ia32.OpCall:
 		target, _ := last.Target()
 		list.Remove(last)
-		list.Append(instr.CreatePush(ia32.Imm32(int64(fallthru))))
-		list.Append(exitJmp(target))
+		// The push of the return address may fault (#PF on the stack);
+		// the native equivalent is the call itself faulting on its own
+		// push, with no scratch state yet.
+		list.Append(instr.CreatePush(ia32.Imm32(int64(fallthru))).SetXl8(ctiPC, 0))
+		list.Append(exitJmp(target).SetXl8(ctiPC, 0))
 
 	case op == ia32.OpRet:
 		hasImm := last.Src(0).Kind == ia32.OperandImm
@@ -189,31 +198,37 @@ func (r *RIO) mangleBlockEnd(ctx *Context, list *instr.List, tag machine.Addr) {
 			imm = last.Src(0).Imm
 		}
 		list.Remove(last)
-		list.Append(instr.CreateMov(spillECX, ecx))
-		list.Append(instr.CreatePop(ecx))
+		list.Append(instr.CreateMov(spillECX, ecx).SetXl8(ctiPC, 0))
+		// The pop reads the stack and may fault, like the native ret
+		// would; by then the application ECX lives in the spill slot.
+		list.Append(instr.CreatePop(ecx).SetXl8(ctiPC, instr.Xl8RestoreECX))
 		if hasImm {
 			list.Append(instr.CreateLea(ia32.RegOp(ia32.ESP),
-				ia32.MemOp(ia32.ESP, ia32.RegNone, 0, int32(imm), 4)))
+				ia32.MemOp(ia32.ESP, ia32.RegNone, 0, int32(imm), 4)).
+				SetXl8(ctiPC, instr.Xl8RestoreECX))
 		}
-		list.Append(exitIndirect(BranchRet, 0))
+		list.Append(exitIndirect(BranchRet, 0).SetXl8(ctiPC, instr.Xl8RestoreECX))
 
 	case op == ia32.OpJmpInd:
 		rm := last.Src(0)
 		list.Remove(last)
-		list.Append(instr.CreateMov(spillECX, ecx))
-		list.Append(instr.CreateMov(ecx, rm))
-		list.Append(exitIndirect(BranchJmpInd, 0))
+		list.Append(instr.CreateMov(spillECX, ecx).SetXl8(ctiPC, 0))
+		// Reading the branch-target operand may fault, exactly as the
+		// native indirect jump would on its own operand read.
+		list.Append(instr.CreateMov(ecx, rm).SetXl8(ctiPC, instr.Xl8RestoreECX))
+		list.Append(exitIndirect(BranchJmpInd, 0).SetXl8(ctiPC, instr.Xl8RestoreECX))
 
 	case op == ia32.OpCallInd:
 		rm := last.Src(0)
 		list.Remove(last)
-		list.Append(instr.CreateMov(spillECX, ecx))
+		list.Append(instr.CreateMov(spillECX, ecx).SetXl8(ctiPC, 0))
 		// Compute the target before pushing: the operand may reference
 		// ESP (or ECX, whose application value we just saved but which
 		// still holds it).
-		list.Append(instr.CreateMov(ecx, rm))
-		list.Append(instr.CreatePush(ia32.Imm32(int64(fallthru))))
-		list.Append(exitIndirect(BranchCallInd, 0))
+		list.Append(instr.CreateMov(ecx, rm).SetXl8(ctiPC, instr.Xl8RestoreECX))
+		list.Append(instr.CreatePush(ia32.Imm32(int64(fallthru))).
+			SetXl8(ctiPC, instr.Xl8RestoreECX))
+		list.Append(exitIndirect(BranchCallInd, 0).SetXl8(ctiPC, instr.Xl8RestoreECX))
 
 	default:
 		panic("core: unexpected block-ending CTI " + op.String())

@@ -73,6 +73,14 @@ type CacheResizedHook interface {
 	CacheResized(ctx *Context, kind FragmentKind, oldBytes, newBytes int)
 }
 
+// ThreadDetachHook is called when a thread detaches from the runtime after
+// an unrecoverable internal failure: its native context has been restored
+// and it will finish execution under plain interpretation. tag is the
+// application PC it resumes at; cause describes the failure.
+type ThreadDetachHook interface {
+	ThreadDetach(ctx *Context, tag machine.Addr, cause string)
+}
+
 // EndTraceDecision is a client's answer to dynamorio_end_trace.
 type EndTraceDecision int
 

@@ -34,6 +34,12 @@ const (
 	offLocalHeap = 0x10000 // thread-private client allocations
 )
 
+// iblEmptySlot marks an unoccupied IBL hashtable slot. It must be a value no
+// application tag can take (it lies in trap space): address 0 is a legal
+// application PC, and a zero sentinel would make a lookup of tag 0 hit an
+// empty slot and jump to cache address 0 — escaping the cache entirely.
+const iblEmptySlot = 0xFFFFFFFF
+
 // RuntimeBase is the lowest runtime-reserved simulated address: everything
 // below it is application memory. The differential tests digest [0,
 // RuntimeBase) to compare application memory across cache configurations.
@@ -126,8 +132,46 @@ type Context struct {
 	// dispatcher entry.
 	sideline []func(*Context)
 
+	// xl8Frags is the cache-PC→fragment registry for fault translation:
+	// every fragment whose bytes are still reserved in a cache region,
+	// dead or alive (a thread can fault inside replaced code it is still
+	// executing). Entries leave only when their bytes are reclaimed.
+	xl8Frags []*Fragment
+
+	// detached marks a thread that has fallen back to native execution
+	// after an unrecoverable internal failure; the runtime no longer
+	// intercepts its control flow or signals.
+	detached bool
+
 	// localNext is the thread-private runtime heap bump pointer.
 	localNext machine.Addr
+}
+
+// Detached reports whether this thread has detached from the runtime and
+// now runs natively.
+func (c *Context) Detached() bool { return c.detached }
+
+// fragmentAt finds the fragment (live or dead-awaiting-reuse) whose emitted
+// bytes contain the cache PC, newest first. Cold path: only walked on
+// faults.
+func (c *Context) fragmentAt(pc machine.Addr) *Fragment {
+	for i := len(c.xl8Frags) - 1; i >= 0; i-- {
+		if f := c.xl8Frags[i]; f.contains(pc) {
+			return f
+		}
+	}
+	return nil
+}
+
+// dropXl8 removes a fragment from the translation registry once its bytes
+// are handed back for reuse.
+func (c *Context) dropXl8(f *Fragment) {
+	for i, r := range c.xl8Frags {
+		if r == f {
+			c.xl8Frags = append(c.xl8Frags[:i], c.xl8Frags[i+1:]...)
+			return
+		}
+	}
 }
 
 // Thread returns the simulated thread this context belongs to.
@@ -310,7 +354,7 @@ func (c *Context) tableRemove(tag machine.Addr) {
 	slot := c.tableBase + machine.Addr(tag&c.tableMask)*8
 	mem := c.rio.M.Mem
 	if mem.Read32(slot) == tag {
-		mem.Write32(slot, 0)
+		mem.Write32(slot, iblEmptySlot)
 		mem.Write32(slot+4, 0)
 	}
 }
@@ -352,4 +396,5 @@ func (c *Context) flushForReuse() {
 	c.trace.reset()
 	c.updateLiveGauges()
 	c.lastExit = nil
+	c.xl8Frags = c.xl8Frags[:0]
 }

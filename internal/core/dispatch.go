@@ -79,9 +79,25 @@ func (r *RIO) onCleanCall(t *machine.Thread) (machine.TrapAction, error) {
 // dispatch is the runtime's central loop step (Figure 1): given the next
 // application target, find or build its fragment, maintain trace state,
 // link the exit we came from, and re-enter the code cache.
-func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (machine.TrapAction, error) {
+//
+// Any internal failure below — undecodable code during fragment
+// construction, an emit or cache-allocator panic, a violated invariant —
+// is caught here and turned into a thread detach: the application context
+// is already native at every dispatch entry, so the thread continues under
+// plain interpretation instead of crashing the process (graceful
+// degradation, the robustness half of the paper's Section 3).
+func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			act, err = r.detach(ctx, tag, p)
+		}
+	}()
 	r.Stats.ContextSwitches++
 	r.M.Charge(r.Opts.Cost.Dispatch)
+
+	if h := r.Opts.InternalFaultHook; h != nil && h(ctx, tag) {
+		panic(fmt.Sprintf("core: injected internal fault at %#x", tag))
+	}
 
 	// Safe point: deliver deferred deletion events, sideline work and
 	// signals.

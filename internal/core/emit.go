@@ -168,6 +168,8 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 		e.ctiLen = ei.cti.Len()
 	}
 
+	f.xl8 = buildXl8(list, offs, exits, f)
+
 	// Emit the stubs.
 	for n, ei := range exits {
 		e := f.Exits[n]
@@ -194,7 +196,71 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 	r.chargeShared()
 	ctx.register(f)
 	ctx.noteFragment(f)
+	ctx.xl8Frags = append(ctx.xl8Frags, f)
 	return f
+}
+
+// buildXl8 assembles the fault-translation table for a freshly encoded
+// fragment from the per-instruction layout offsets and the annotations the
+// manglers attached:
+//
+//   - a Level 0 bundle is an identity run: copied application bytes
+//     translate to their own PC plus the in-run delta;
+//   - a synthetic instruction carries an explicit SetXl8 annotation naming
+//     the control transfer it stands in for and the scratch state in play;
+//   - a decoded application instruction translates to its own PC;
+//   - anything else (client-inserted meta code) is untranslatable — a fault
+//     there has no application equivalent and kills the thread.
+//
+// Stub regions are covered too: a direct exit's stub corresponds to the
+// branch-target tag (the branch has, in application terms, already
+// happened); an indirect exit's stub inherits the exit CTI's annotation.
+// The stub tail spills EAX in its first instruction, so the rest of the
+// tail adds Xl8RestoreEAX, and a flags-restoring prefix keeps the
+// Xl8FlagsPushed bit until its popfd has run.
+func buildXl8(list *instr.List, offs map[*instr.Instr]uint32, exits []*exitInfo, f *Fragment) []xl8Entry {
+	var table []xl8Entry
+	list.Instrs(func(i *instr.Instr) bool {
+		off, ok := offs[i]
+		if !ok {
+			return true
+		}
+		switch {
+		case i.IsBundle():
+			table = append(table, xl8Entry{off: off, app: i.PC(), ident: true})
+		default:
+			if pc, scr := i.Xl8(); pc != 0 {
+				table = append(table, xl8Entry{off: off, app: machine.Addr(pc), scratch: scr})
+			} else if i.PC() != 0 {
+				table = append(table, xl8Entry{off: off, app: i.PC()})
+			} else {
+				table = append(table, xl8Entry{off: off}) // untranslatable
+			}
+		}
+		return true
+	})
+
+	for n, ei := range exits {
+		e := f.Exits[n]
+		var app machine.Addr
+		var scr uint8
+		if e.Kind == ExitDirect {
+			app = e.TargetTag
+		} else if pc, s := ei.cti.Xl8(); pc != 0 {
+			app, scr = machine.Addr(pc), s
+		}
+		off := uint32(ei.stubOff)
+		if ei.prefixLen > 0 {
+			// Prefix (popfd and/or client stub code): scratch state is
+			// still that of the exit branch itself.
+			table = append(table, xl8Entry{off: off, app: app, scratch: scr})
+			off += uint32(ei.prefixLen)
+			scr &^= instr.Xl8FlagsPushed // popfd has restored the eflags
+		}
+		table = append(table, xl8Entry{off: off, app: app, scratch: scr})
+		table = append(table, xl8Entry{off: off + 5, app: app, scratch: scr | instr.Xl8RestoreEAX})
+	}
+	return table
 }
 
 // writeTailUnlinked writes the spill/identify/trap tail of e's stub.

@@ -198,6 +198,7 @@ func (c *Context) reclaim(reg *cacheRegion, f *Fragment) {
 	if c.selUnlinked == f {
 		c.selUnlinked = nil
 	}
+	c.dropXl8(f)
 }
 
 // evict removes a live fragment from the cache under capacity pressure: the
@@ -401,7 +402,7 @@ func (c *Context) CheckCacheInvariants() error {
 		for i := machine.Addr(0); i <= machine.Addr(c.tableMask); i++ {
 			slot := c.tableBase + i*8
 			tag := mem.Read32(slot)
-			if tag == 0 {
+			if tag == iblEmptySlot {
 				continue
 			}
 			dest := mem.Read32(slot + 4)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/instr"
 	"repro/internal/machine"
@@ -155,7 +156,51 @@ type Fragment struct {
 	// Context.InvalidateRange for explicit cross-modification.
 	spans []srcSpan
 
+	// xl8 is the fault-translation table, recorded at emit time: for every
+	// cache offset, the application PC a fault there reports, and the
+	// scratch state the translator must fold back into the context. Sorted
+	// by offset; each entry covers [off, next.off).
+	xl8 []xl8Entry
+
 	ctx *Context // owning thread context
+}
+
+// xl8Entry maps one run of fragment bytes back to application state for
+// precise fault reporting (the paper's Section 3.3.4 state translation).
+type xl8Entry struct {
+	off     uint32       // fragment-relative start of the run
+	app     machine.Addr // application PC (0 = untranslatable: client/meta code)
+	scratch uint8        // instr.Xl8* bits: spilled registers, pushed eflags
+	ident   bool         // identity run (copied app code): app += pc - off
+}
+
+// translate maps a cache PC inside f back to the application PC whose
+// native context a fault there corresponds to, plus the scratch-state bits
+// needed to reconstruct it. ok is false for untranslatable bytes (meta or
+// client-inserted code with no application equivalent).
+func (f *Fragment) translate(pc machine.Addr) (app machine.Addr, scratch uint8, ok bool) {
+	if pc < f.Entry || pc >= f.Entry+machine.Addr(f.Size) {
+		return 0, 0, false
+	}
+	rel := uint32(pc - f.Entry)
+	idx := sort.Search(len(f.xl8), func(i int) bool { return f.xl8[i].off > rel }) - 1
+	if idx < 0 {
+		return 0, 0, false
+	}
+	e := f.xl8[idx]
+	if e.app == 0 {
+		return 0, 0, false
+	}
+	if e.ident {
+		return e.app + machine.Addr(rel-e.off), e.scratch, true
+	}
+	return e.app, e.scratch, true
+}
+
+// contains reports whether a cache PC lies within f's emitted bytes
+// (body plus stubs).
+func (f *Fragment) contains(pc machine.Addr) bool {
+	return pc >= f.Entry && pc < f.Entry+machine.Addr(f.Size)
 }
 
 // srcSpan is one source page and its generation at fragment-build time.

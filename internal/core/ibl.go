@@ -38,6 +38,12 @@ import (
 // indirect jump; on a miss ECX still holds the target and the dispatcher
 // restores it from the spill slot.
 func (r *RIO) emitIBLRoutines(ctx *Context) {
+	// Mark every hashtable slot empty. Simulated memory zeroes by default,
+	// and a zero tag would false-hit a lookup of application address 0.
+	for i := machine.Addr(0); i <= machine.Addr(ctx.tableMask); i++ {
+		r.M.Mem.Write32(ctx.tableBase+i*8, iblEmptySlot)
+	}
+
 	addr := ctx.tls + offIBLCode
 	for bt := BranchType(0); bt < numBranchTypes; bt++ {
 		ctx.iblEntry[bt] = addr

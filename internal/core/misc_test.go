@@ -190,16 +190,25 @@ func TestCacheFlushOnFull(t *testing.T) {
 		r.Stats.CacheFlushes, r.Stats.BlocksBuilt, r.Stats.FragmentsDeleted)
 }
 
-func TestCacheTooSmallForOneFragmentPanics(t *testing.T) {
+func TestCacheTooSmallForOneFragmentDetaches(t *testing.T) {
+	// A fragment that cannot fit the cache even after a flush used to be a
+	// fatal allocator panic; with graceful degradation the thread detaches
+	// and finishes under plain interpretation instead.
 	img := image.MustAssemble("t", "main:\n"+strings.Repeat("    add eax, 0x12345678\n", 60)+" hlt\n")
 	m := machine.New(machine.PentiumIV())
 	opts := core.Default()
 	opts.CacheSize = 64
 	r := core.New(m, img, opts, nil)
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic for fragment larger than the cache")
-		}
-	}()
-	_ = r.Run(0)
+	if err := r.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Detaches == 0 {
+		t.Error("fragment larger than the cache should detach the thread")
+	}
+	if !m.Threads[0].Halted {
+		t.Error("detached thread should still run to completion natively")
+	}
+	if ctx := r.ContextOf(m.Threads[0]); ctx == nil || !ctx.Detached() {
+		t.Error("context should report Detached")
+	}
 }

@@ -87,6 +87,11 @@ type Options struct {
 	RegenThreshold float64 // default 0.5
 	ResizeEpoch    int     // default 32 evictions per epoch
 
+	// InternalFaultHook, when set, is consulted at every dispatcher entry
+	// and panics when it returns true — a test-only lever to exercise the
+	// detach-on-internal-failure path without corrupting real state.
+	InternalFaultHook func(ctx *Context, tag machine.Addr) bool
+
 	Cost CostModel
 }
 

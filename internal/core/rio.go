@@ -32,6 +32,12 @@ type Stats struct {
 	Regenerations uint64
 	CacheResizes  uint64
 
+	// Fault transparency (Section 3.3.4): faults whose cache context was
+	// rewritten to native application form, and threads that fell back to
+	// native execution after an internal runtime failure.
+	FaultsTranslated uint64
+	Detaches         uint64
+
 	// Live-fragment byte gauges, updated as fragments are created and die;
 	// with several threads they reflect the thread that changed last.
 	BBCacheLiveBytes    uint64
@@ -129,6 +135,12 @@ func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clie
 	// context (the queued handler runs with the application's next tag as
 	// its interrupted PC).
 	m.SetSignalInterceptor(r.interceptSignal)
+
+	// Synchronous faults get their context translated back to native form
+	// before they become observable, and registered handlers are re-routed
+	// through the dispatcher so they too run under the cache.
+	m.SetFaultTranslator(r.translateFault)
+	m.SetFaultInterceptor(r.interceptFaultDelivery)
 
 	for _, cl := range r.Clients {
 		if h, ok := cl.(InitHook); ok {
@@ -236,6 +248,13 @@ func (r *RIO) fireExitEvents() {
 		// dispatch safe point; its deferred events are still owed. The thread
 		// is stopped, so delivery is safe here.
 		r.deliverDeleted(ctx)
+		// Likewise any signals still queued for the dispatcher's safe point
+		// can never be delivered now: account for them so none is lost
+		// silently.
+		if n := len(ctx.pendingSignals); n > 0 {
+			r.M.Stats.SignalsDropped += uint64(n)
+			ctx.pendingSignals = nil
+		}
 		for _, cl := range r.Clients {
 			if h, ok := cl.(ThreadExitHook); ok {
 				h.ThreadExit(ctx)
@@ -299,6 +318,9 @@ func (r *RIO) interceptSignal(t *machine.Thread, handler machine.Addr) bool {
 		return false // default delivery is fine under emulation
 	}
 	ctx := r.ctxOf(t)
+	if ctx.detached {
+		return false // detached threads use the machine's native delivery
+	}
 	ctx.pendingSignals = append(ctx.pendingSignals, handler)
 	return true
 }

@@ -126,10 +126,13 @@ func (r *RIO) stitchBlock(ctx *Context, block *instr.List, next machine.Addr) bo
 	}
 
 	op := last.Opcode()
-	fallthru := last.PC() + machine.Addr(last.Len())
+	ctiPC := last.PC()
+	fallthru := ctiPC + machine.Addr(last.Len())
 	ecx := ia32.RegOp(ia32.ECX)
 	spillECX := ctx.spillOp(offSpillECX)
 
+	// As in mangleBlockEnd, every synthetic instruction carries a fault
+	// translation annotation back to the control transfer it replaces.
 	switch {
 	case op == ia32.OpJmp:
 		target, _ := last.Target()
@@ -147,6 +150,7 @@ func (r *RIO) stitchBlock(ctx *Context, block *instr.List, next machine.Addr) bo
 			negOp, _ := ia32.NegateCond(op)
 			inv := instr.CreateJcc(negOp, fallthru)
 			inv.SetExitClass(ClassDirect)
+			inv.SetXl8(ctiPC, 0)
 			block.Replace(last, inv)
 		case fallthru:
 			last.SetExitClass(ClassDirect) // keep: taken direction exits
@@ -162,7 +166,8 @@ func (r *RIO) stitchBlock(ctx *Context, block *instr.List, next machine.Addr) bo
 		// Inline the call: push the original return address (keeping
 		// the application's view of its stack fully transparent) and
 		// fall through into the callee.
-		block.Replace(last, instr.CreatePush(ia32.Imm32(int64(fallthru))))
+		block.Replace(last,
+			instr.CreatePush(ia32.Imm32(int64(fallthru))).SetXl8(ctiPC, 0))
 
 	case op == ia32.OpRet:
 		hasImm := last.Src(0).Kind == ia32.OperandImm
@@ -171,28 +176,30 @@ func (r *RIO) stitchBlock(ctx *Context, block *instr.List, next machine.Addr) bo
 			imm = last.Src(0).Imm
 		}
 		block.Remove(last)
-		block.Append(instr.CreateMov(spillECX, ecx))
-		block.Append(instr.CreatePop(ecx))
+		block.Append(instr.CreateMov(spillECX, ecx).SetXl8(ctiPC, 0))
+		block.Append(instr.CreatePop(ecx).SetXl8(ctiPC, instr.Xl8RestoreECX))
 		if hasImm {
 			block.Append(instr.CreateLea(ia32.RegOp(ia32.ESP),
-				ia32.MemOp(ia32.ESP, ia32.RegNone, 0, int32(imm), 4)))
+				ia32.MemOp(ia32.ESP, ia32.RegNone, 0, int32(imm), 4)).
+				SetXl8(ctiPC, instr.Xl8RestoreECX))
 		}
-		r.appendInlineCheck(ctx, block, BranchRet, next)
+		r.appendInlineCheck(ctx, block, BranchRet, next, ctiPC)
 
 	case op == ia32.OpJmpInd:
 		rm := last.Src(0)
 		block.Remove(last)
-		block.Append(instr.CreateMov(spillECX, ecx))
-		block.Append(instr.CreateMov(ecx, rm))
-		r.appendInlineCheck(ctx, block, BranchJmpInd, next)
+		block.Append(instr.CreateMov(spillECX, ecx).SetXl8(ctiPC, 0))
+		block.Append(instr.CreateMov(ecx, rm).SetXl8(ctiPC, instr.Xl8RestoreECX))
+		r.appendInlineCheck(ctx, block, BranchJmpInd, next, ctiPC)
 
 	case op == ia32.OpCallInd:
 		rm := last.Src(0)
 		block.Remove(last)
-		block.Append(instr.CreateMov(spillECX, ecx))
-		block.Append(instr.CreateMov(ecx, rm))
-		block.Append(instr.CreatePush(ia32.Imm32(int64(fallthru))))
-		r.appendInlineCheck(ctx, block, BranchCallInd, next)
+		block.Append(instr.CreateMov(spillECX, ecx).SetXl8(ctiPC, 0))
+		block.Append(instr.CreateMov(ecx, rm).SetXl8(ctiPC, instr.Xl8RestoreECX))
+		block.Append(instr.CreatePush(ia32.Imm32(int64(fallthru))).
+			SetXl8(ctiPC, instr.Xl8RestoreECX))
+		r.appendInlineCheck(ctx, block, BranchCallInd, next, ctiPC)
 
 	default:
 		return false
@@ -212,14 +219,20 @@ func (r *RIO) stitchBlock(ctx *Context, block *instr.List, next machine.Addr) bo
 //	popfd
 //	mov  ecx, [spillECX]
 //	...falls through into the inlined target block...
-func (r *RIO) appendInlineCheck(ctx *Context, block *instr.List, bt BranchType, expected machine.Addr) {
-	block.Append(instr.CreatePushfd())
-	block.Append(instr.CreateCmp(ia32.RegOp(ia32.ECX), ia32.Imm32(int64(int32(expected)))))
+func (r *RIO) appendInlineCheck(ctx *Context, block *instr.List, bt BranchType, expected, ctiPC machine.Addr) {
+	// On entry ECX is already spilled; between the pushfd and the popfd the
+	// application eflags additionally live on the stack, so the scratch
+	// annotations widen and then narrow again across the sequence.
+	block.Append(instr.CreatePushfd().SetXl8(ctiPC, instr.Xl8RestoreECX))
+	block.Append(instr.CreateCmp(ia32.RegOp(ia32.ECX), ia32.Imm32(int64(int32(expected)))).
+		SetXl8(ctiPC, instr.Xl8RestoreECX|instr.Xl8FlagsPushed))
 	miss := instr.CreateJcc(ia32.OpJnz, 0)
 	miss.SetExitClass(1 + uint8(bt) | ClassFlagsPushedBit)
+	miss.SetXl8(ctiPC, instr.Xl8RestoreECX|instr.Xl8FlagsPushed)
 	block.Append(miss)
-	block.Append(instr.CreatePopfd())
-	block.Append(instr.CreateMov(ia32.RegOp(ia32.ECX), ctx.spillOp(offSpillECX)))
+	block.Append(instr.CreatePopfd().SetXl8(ctiPC, instr.Xl8RestoreECX|instr.Xl8FlagsPushed))
+	block.Append(instr.CreateMov(ia32.RegOp(ia32.ECX), ctx.spillOp(offSpillECX)).
+		SetXl8(ctiPC, instr.Xl8RestoreECX))
 }
 
 // MarkTraceHead marks tag as a custom trace head (the paper's

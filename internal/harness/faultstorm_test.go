@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestBuildSchedulesDeterministic: the same seed must derive the same plans.
+func TestBuildSchedulesDeterministic(t *testing.T) {
+	b := workload.ByName("crafty")
+	if b == nil {
+		t.Fatal("no crafty benchmark")
+	}
+	seeds := []int64{1, 2, 3}
+	s1, err := BuildSchedules(b, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSchedules(b, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if len(s1[i].Plans) != len(s2[i].Plans) {
+			t.Fatalf("seed %d: plan counts differ", seeds[i])
+		}
+		for j := range s1[i].Plans {
+			if s1[i].Plans[j] != s2[i].Plans[j] {
+				t.Fatalf("seed %d plan %d: %+v != %+v", seeds[i], j, s1[i].Plans[j], s2[i].Plans[j])
+			}
+		}
+		if len(s1[i].Plans) == 0 || len(s1[i].Plans) > 3 {
+			t.Fatalf("seed %d: %d plans, want 1..3", seeds[i], len(s1[i].Plans))
+		}
+	}
+}
+
+// TestFaultStormFull is the acceptance differential: every workload under
+// three seeded schedules, native versus the runtime with unbounded and
+// pressured bounded caches, states bit-identical, and the cache
+// configurations must actually translate fault contexts for the comparison
+// to mean anything.
+func TestFaultStormFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault-injection differential in -short mode")
+	}
+	benches := workload.All()
+	seeds := []int64{101, 202, 303}
+	configs := DefaultStormConfigs()
+	rows, err := FaultStorm(0, benches, seeds, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benches) {
+		t.Fatalf("%d rows for %d benchmarks", len(rows), len(benches))
+	}
+	var totalTranslated uint64
+	pass := 0
+	for _, r := range rows {
+		if len(r.Schedules) != len(seeds) {
+			t.Errorf("%s: %d schedules, want %d", r.Benchmark, len(r.Schedules), len(seeds))
+			continue
+		}
+		if r.Passed() {
+			pass++
+		}
+		for _, s := range r.Schedules {
+			if len(s.Faults) == 0 {
+				t.Errorf("%s seed %d: no faults delivered natively", r.Benchmark, s.Seed)
+			}
+			if len(s.Outcomes) != len(configs) {
+				t.Errorf("%s seed %d: %d outcomes, want %d", r.Benchmark, s.Seed, len(s.Outcomes), len(configs))
+				continue
+			}
+			for _, o := range s.Outcomes {
+				if !o.Match {
+					t.Errorf("%s seed %d under %s: %s", r.Benchmark, s.Seed, o.Config, o.Mismatch)
+				}
+				totalTranslated += o.FaultsTranslated
+			}
+		}
+	}
+	if pass < 20 {
+		t.Errorf("only %d/%d benchmarks passed all schedules; acceptance floor is 20", pass, len(rows))
+	}
+	if totalTranslated == 0 {
+		t.Error("no fault context was ever translated from cache form: the differential tested nothing")
+	}
+	t.Logf("%d/%d benchmarks passed, %d fault contexts translated", pass, len(rows), totalTranslated)
+}

@@ -36,6 +36,7 @@ const (
 	OpXor
 	OpTest
 	OpImul
+	OpDiv
 	OpShl
 	OpShr
 	OpSar
@@ -160,7 +161,9 @@ var opTable = [NumOpcodes]opInfo{
 	OpTest: {name: "test", eflags: EflagsWrite6},
 	// The real instruction leaves SF/ZF/AF/PF undefined; modelling them
 	// as written is the safe choice for transformations.
-	OpImul:  {name: "imul", eflags: EflagsWrite6},
+	OpImul: {name: "imul", eflags: EflagsWrite6},
+	// div leaves all six flags undefined; modelled as written (see imul).
+	OpDiv:   {name: "div", eflags: EflagsWrite6},
 	OpShl:   {name: "shl", eflags: EflagsWrite6},
 	OpShr:   {name: "shr", eflags: EflagsWrite6},
 	OpSar:   {name: "sar", eflags: EflagsWrite6},

@@ -196,6 +196,10 @@ func buildTemplates() []*Template {
 	add(Template{Op: OpImul, Opc: b(0x69), ModRM: true, Ext: ext(-1),
 		Dsts: d(reg(4)), Srcs: s(rm(4), imm(4))})
 
+	// --- div (unsigned edx:eax / r·m32 -> eax quotient, edx remainder) ---
+	add(Template{Op: OpDiv, Opc: b(0xF7), ModRM: true, Ext: ext(6),
+		Dsts: d(fixed(EAX), fixed(EDX)), Srcs: s(rm(4), tied(0), tied(1))})
+
 	// --- shifts ---
 	shift := func(op Opcode, digit int8) {
 		add(Template{Op: op, Opc: b(0xC0), ModRM: true, Ext: digit, Dsts: d(rm(1)), Srcs: s(imm(1), tied(0))})

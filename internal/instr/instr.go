@@ -80,6 +80,36 @@ type Instr struct {
 	// CTIs (e.g. ordinary direct exits versus indirect-branch-lookup
 	// exits). Clients read it through runtime helpers, never directly.
 	exitClass uint8
+
+	// xl8 is the application PC a fault inside this runtime-inserted
+	// instruction translates back to, and scratch records which pieces of
+	// application state the runtime had stashed at that point (the
+	// Xl8* bits). Application instructions carry their own pc instead;
+	// mangling passes set these only on the synthetic code they insert.
+	xl8     uint32
+	scratch uint8
+}
+
+// Scratch-state bits for SetXl8: what a fault-time state translator must
+// restore when a fault lands on this runtime-inserted instruction. The bit
+// meanings are interpreted by the embedding runtime's translator.
+const (
+	Xl8RestoreEAX  uint8 = 1 << iota // app EAX lives in the runtime spill slot
+	Xl8RestoreECX                    // app ECX lives in the runtime spill slot
+	Xl8FlagsPushed                   // app eflags live on the stack (pushfd'd)
+)
+
+// Xl8 returns the fault-translation annotation: the application PC this
+// runtime-inserted instruction stands in for (0 if none was recorded) and
+// the scratch-state bits.
+func (i *Instr) Xl8() (uint32, uint8) { return i.xl8, i.scratch }
+
+// SetXl8 records the application PC this synthetic instruction translates
+// back to on a fault, with scratch describing any application state the
+// runtime has stashed at that point. Returns the instruction for chaining.
+func (i *Instr) SetXl8(pc uint32, scratch uint8) *Instr {
+	i.xl8, i.scratch = pc, scratch
+	return i
 }
 
 // ExitClass returns the runtime's classification of this exit CTI. The

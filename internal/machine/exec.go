@@ -240,6 +240,7 @@ func init() {
 	thunks[ia32.OpOr] = execOr
 	thunks[ia32.OpXor] = execXor
 	thunks[ia32.OpImul] = execImul
+	thunks[ia32.OpDiv] = execDiv
 	thunks[ia32.OpShl] = execShl
 	thunks[ia32.OpShr] = execShr
 	thunks[ia32.OpSar] = execSar
@@ -567,7 +568,9 @@ func execDecR32(m *Machine, t *Thread, ci *cachedInst) error {
 }
 
 func execUnknown(m *Machine, t *Thread, ci *cachedInst) error {
-	return fmt.Errorf("machine: unimplemented opcode %s at %#x", ci.inst.Op, t.CPU.EIP)
+	// Decodable but unimplemented is an architectural #UD on this thread
+	// alone; one bad instruction must not abort a whole multi-thread run.
+	return &Fault{Kind: FaultUD}
 }
 
 func execNop(m *Machine, t *Thread, ci *cachedInst) error {
@@ -768,6 +771,29 @@ func execImul(m *Machine, t *Thread, ci *cachedInst) error {
 	}
 	c.setSZP(r, 4)
 	m.writeOp(t, &in.Dsts[0], r)
+	c.EIP = ci.next
+	return nil
+}
+
+func execDiv(m *Machine, t *Thread, ci *cachedInst) error {
+	// Unsigned edx:eax / src -> eax quotient, edx remainder. A zero
+	// divisor or a quotient that does not fit 32 bits raises #DE before
+	// any state changes, keeping the instruction boundary precise.
+	c := &t.CPU
+	d := m.readOp(t, &ci.inst.Srcs[0])
+	if d == 0 {
+		return &Fault{Kind: FaultDivide}
+	}
+	n := uint64(c.R[2])<<32 | uint64(c.R[0]) // edx:eax
+	q := n / uint64(d)
+	if q > 0xFFFFFFFF {
+		return &Fault{Kind: FaultDivide}
+	}
+	c.R[0] = uint32(q)
+	c.R[2] = uint32(n % uint64(d))
+	// The real instruction leaves all six flags undefined; clearing them
+	// is the deterministic choice.
+	c.Eflags &^= ia32.FlagsAll
 	c.EIP = ci.next
 	return nil
 }
@@ -1034,7 +1060,7 @@ func execRet(m *Machine, t *Thread, ci *cachedInst) error {
 }
 
 func execHlt(m *Machine, t *Thread, ci *cachedInst) error {
-	t.Halted = true
+	m.haltThread(t)
 	return nil
 }
 

@@ -88,10 +88,21 @@ type Thread struct {
 	// Instret counts instructions retired by this thread.
 	Instret uint64
 
+	// FaultHandler, when nonzero, receives synchronous faults: the machine
+	// pushes kind/address/EIP and transfers there. With no handler a fault
+	// halts the thread with FaultRecord set. Programs register a handler
+	// with the SysSetFaultHandler system call.
+	FaultHandler Addr
+
+	// FaultRecord is the fault that halted this thread, if any.
+	FaultRecord *Fault
+
 	pred *predictor
 	m    *Machine
 
-	pendingSignal Addr // handler address, 0 if none
+	pendingSignals []Addr // queued handler addresses, delivered FIFO
+
+	syscallSeen uint64 // per-thread syscall ordinal (fault injection keys on it)
 
 	// Local is free per-thread storage for the embedding runtime (the
 	// dispatcher keeps its per-thread context here).
@@ -126,11 +137,20 @@ type Machine struct {
 	// instrumented run to be bit-identical to the native run's.
 	SyscallTrace []SyscallRecord
 
+	// FaultTrace records every delivered synchronous fault in execution
+	// order, with its application-level (translated) context. Like the
+	// syscall trace it is observable behaviour: a run under a code-cache
+	// runtime must deliver the same fault sequence as the native run.
+	FaultTrace []Fault
+
 	traps    map[Addr]TrapFunc
 	nextTrap Addr
 
 	interceptSignal SignalInterceptor
 	spawnHook       spawnHookFunc
+	faultTranslator FaultTranslator
+	interceptFault  FaultInterceptor
+	injections      []*faultInjection
 
 	icache  []icEntry // direct-mapped decoded-instruction cache
 	nextTID int
@@ -158,6 +178,12 @@ type Stats struct {
 	Syscalls      uint64
 	SignalsTaken  uint64
 	DecodeMisses  uint64
+
+	// Faults counts delivered synchronous faults; SignalsDropped counts
+	// queued asynchronous signals a thread halted without receiving (they
+	// are accounted, never silently discarded).
+	Faults         uint64
+	SignalsDropped uint64
 }
 
 // cachedInst is one decode-cache entry: the decoded instruction plus the
@@ -220,8 +246,19 @@ func (m *Machine) AllocTrap(handler TrapFunc) Addr {
 func (m *Machine) SetSignalInterceptor(fn SignalInterceptor) { m.interceptSignal = fn }
 
 // QueueSignal arranges for the thread to receive an asynchronous transfer to
-// handler before its next instruction.
-func (m *Machine) QueueSignal(t *Thread, handler Addr) { t.pendingSignal = handler }
+// handler. Signals queue FIFO: several queued between two steps are all
+// delivered, one per step, in order. A signal queued on an already-halted
+// thread is accounted as dropped rather than silently lost.
+func (m *Machine) QueueSignal(t *Thread, handler Addr) {
+	if t.Halted {
+		m.Stats.SignalsDropped++
+		return
+	}
+	t.pendingSignals = append(t.pendingSignals, handler)
+}
+
+// PendingSignals reports how many queued signals t has not yet received.
+func (t *Thread) PendingSignals() int { return len(t.pendingSignals) }
 
 // Charge adds modeled overhead time (runtime work performed conceptually on
 // this machine but implemented in Go, e.g. the dispatcher's hashtable
@@ -274,7 +311,7 @@ func (m *Machine) Step(t *Thread) error {
 	if t.Halted {
 		return nil
 	}
-	if t.pendingSignal != 0 {
+	if len(t.pendingSignals) > 0 {
 		m.deliverSignal(t)
 	}
 	pc := t.CPU.EIP
@@ -288,26 +325,69 @@ func (m *Machine) Step(t *Thread) error {
 			return err
 		}
 		if action == TrapHalt {
-			t.Halted = true
+			m.haltThread(t)
 		}
 		return nil
 	}
 	ci, err := m.decode(pc)
 	if err != nil {
-		return err
+		// Undecodable bytes are an architectural event, not an
+		// infrastructure failure: raise #UD on this thread only.
+		return m.raiseFault(t, &Fault{Kind: FaultUD})
+	}
+	if m.injections != nil {
+		if inj := m.injectionFor(t.ID, false, t.Instret); inj != nil {
+			// The displaced instruction does not execute or retire.
+			return m.raiseFault(t, &Fault{Kind: inj.Kind, Addr: inj.Addr})
+		}
 	}
 	m.Stats.Instructions++
 	t.Instret++
 	m.Ticks += ci.cost + m.PerInstrOverhead
-	return ci.fn(m, t, ci)
+	if m.Mem.protCount != 0 {
+		return m.stepGuarded(t, ci)
+	}
+	if err := ci.fn(m, t, ci); err != nil {
+		if f, ok := err.(*Fault); ok {
+			return m.raiseFault(t, f)
+		}
+		return err
+	}
+	return nil
 }
 
-// deliverSignal transfers control to the pending handler, either through the
-// registered interceptor or by the default mechanism (push the interrupted
-// EIP and jump to the handler, which returns with ret).
+// stepGuarded executes one decoded instruction with page faults armed. The
+// CPU is snapshotted first; a #PF panic from the memory layer unwinds any
+// partial execution of the thunk back to the precise instruction boundary
+// before the fault is delivered. Thunks that return a *Fault as an error
+// guarantee they did so before any state change, so no rewind is needed on
+// that path.
+func (m *Machine) stepGuarded(t *Thread, ci *cachedInst) (err error) {
+	saved := t.CPU
+	defer func() {
+		if p := recover(); p != nil {
+			f, ok := p.(*Fault)
+			if !ok {
+				panic(p)
+			}
+			t.CPU = saved
+			err = m.raiseFault(t, f)
+		}
+	}()
+	if err = ci.fn(m, t, ci); err != nil {
+		if f, ok := err.(*Fault); ok {
+			err = m.raiseFault(t, f)
+		}
+	}
+	return err
+}
+
+// deliverSignal transfers control to the first queued handler, either
+// through the registered interceptor or by the default mechanism (push the
+// interrupted EIP and jump to the handler, which returns with ret).
 func (m *Machine) deliverSignal(t *Thread) {
-	h := t.pendingSignal
-	t.pendingSignal = 0
+	h := t.pendingSignals[0]
+	t.pendingSignals = t.pendingSignals[1:]
 	m.Stats.SignalsTaken++
 	if m.interceptSignal != nil && m.interceptSignal(t, h) {
 		return

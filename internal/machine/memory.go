@@ -47,14 +47,80 @@ type page struct {
 	// the simulated code cache). Every write bumps both gen and the
 	// touched sub entries, so sub is strictly finer than gen.
 	sub [chunkCount]uint32
+	// prot is the page's access-restriction bits (ProtNoRead/ProtNoWrite).
+	// The zero value means fully accessible, so untouched pages stay
+	// permissive and the permission check stays off the fast path of runs
+	// that never call Protect.
+	prot uint8
 }
 
+// Page permission restriction bits for Protect. They are restrictions, not
+// grants: a zero value (the default for every page) allows everything.
+const (
+	ProtNoRead  uint8 = 1 << iota // data reads fault with #PF
+	ProtNoWrite                   // writes fault with #PF
+)
+
 // Memory is a sparse paged 32-bit address space. Pages are allocated on
-// first touch; reads of untouched memory return zero after allocating, and
-// the machine's page-fault policy is handled at a higher level (the subset
-// programs are trusted, so stray accesses simply read zeros).
+// first touch; reads of untouched memory return zero after allocating.
+// Pages are fully accessible unless restricted with Protect, in which case a
+// violating access panics with a *Fault (#PF) that the machine's guarded
+// step converts into a precise synchronous fault.
 type Memory struct {
 	pages [pageCount]*page
+
+	// protCount is the number of pages with nonzero prot; access paths
+	// check permissions only when it is nonzero.
+	protCount int
+}
+
+// Protect sets the restriction bits for every page overlapping [lo, hi).
+// Pass 0 to restore full access.
+func (m *Memory) Protect(lo, hi Addr, prot uint8) {
+	if hi <= lo {
+		return
+	}
+	for pi := lo >> pageShift; pi <= (hi-1)>>pageShift; pi++ {
+		p := m.pages[pi]
+		if p == nil {
+			if prot == 0 {
+				continue
+			}
+			p = &page{}
+			m.pages[pi] = p
+		}
+		if (p.prot == 0) != (prot == 0) {
+			if prot == 0 {
+				m.protCount--
+			} else {
+				m.protCount++
+			}
+		}
+		p.prot = prot
+		if pi == 0xFFFF {
+			break // pi+1 would wrap
+		}
+	}
+}
+
+// protOK reports whether an access to a is permitted (write or read).
+func (m *Memory) protOK(a Addr, write bool) bool {
+	p := m.pages[a>>pageShift]
+	if p == nil || p.prot == 0 {
+		return true
+	}
+	if write {
+		return p.prot&ProtNoWrite == 0
+	}
+	return p.prot&ProtNoRead == 0
+}
+
+// protCheck panics with a #PF *Fault if the access to a is not permitted.
+// Only called when protCount != 0.
+func (m *Memory) protCheck(a Addr, write bool) {
+	if !m.protOK(a, write) {
+		panic(&Fault{Kind: FaultPage, Addr: a, Write: write})
+	}
 }
 
 // NewMemory returns an empty address space.
@@ -71,12 +137,18 @@ func (m *Memory) pageFor(a Addr) *page {
 
 // Read8 reads one byte.
 func (m *Memory) Read8(a Addr) uint8 {
+	if m.protCount != 0 {
+		m.protCheck(a, false)
+	}
 	return m.pageFor(a).bytes[a&(pageSize-1)]
 }
 
 // Read16 reads a little-endian 16-bit value.
 func (m *Memory) Read16(a Addr) uint16 {
 	if a&(pageSize-1) <= pageSize-2 {
+		if m.protCount != 0 {
+			m.protCheck(a, false)
+		}
 		p := m.pageFor(a)
 		o := a & (pageSize - 1)
 		return uint16(p.bytes[o]) | uint16(p.bytes[o+1])<<8
@@ -87,6 +159,9 @@ func (m *Memory) Read16(a Addr) uint16 {
 // Read32 reads a little-endian 32-bit value.
 func (m *Memory) Read32(a Addr) uint32 {
 	if a&(pageSize-1) <= pageSize-4 {
+		if m.protCount != 0 {
+			m.protCheck(a, false)
+		}
 		p := m.pageFor(a)
 		o := a & (pageSize - 1)
 		return uint32(p.bytes[o]) | uint32(p.bytes[o+1])<<8 |
@@ -97,6 +172,9 @@ func (m *Memory) Read32(a Addr) uint32 {
 
 // Write8 writes one byte.
 func (m *Memory) Write8(a Addr, v uint8) {
+	if m.protCount != 0 {
+		m.protCheck(a, true)
+	}
 	p := m.pageFor(a)
 	o := a & (pageSize - 1)
 	p.bytes[o] = v
@@ -109,6 +187,9 @@ func (m *Memory) Write8(a Addr, v uint8) {
 // invalidation pressure of 16-bit stores.
 func (m *Memory) Write16(a Addr, v uint16) {
 	if a&(pageSize-1) <= pageSize-2 {
+		if m.protCount != 0 {
+			m.protCheck(a, true)
+		}
 		p := m.pageFor(a)
 		o := a & (pageSize - 1)
 		p.bytes[o] = uint8(v)
@@ -127,6 +208,9 @@ func (m *Memory) Write16(a Addr, v uint16) {
 // Write32 writes a little-endian 32-bit value.
 func (m *Memory) Write32(a Addr, v uint32) {
 	if a&(pageSize-1) <= pageSize-4 {
+		if m.protCount != 0 {
+			m.protCheck(a, true)
+		}
 		p := m.pageFor(a)
 		o := a & (pageSize - 1)
 		p.bytes[o] = byte(v)
@@ -147,6 +231,9 @@ func (m *Memory) Write32(a Addr, v uint32) {
 // WriteBytes copies b into memory starting at a.
 func (m *Memory) WriteBytes(a Addr, b []byte) {
 	for len(b) > 0 {
+		if m.protCount != 0 {
+			m.protCheck(a, true)
+		}
 		p := m.pageFor(a)
 		o := a & (pageSize - 1)
 		n := copy(p.bytes[o:], b)
@@ -163,6 +250,9 @@ func (m *Memory) WriteBytes(a Addr, b []byte) {
 func (m *Memory) ReadBytes(a Addr, n int) []byte {
 	out := make([]byte, n)
 	for i := 0; i < n; {
+		if m.protCount != 0 {
+			m.protCheck(a+Addr(i), false)
+		}
 		p := m.pageFor(a + Addr(i))
 		o := (a + Addr(i)) & (pageSize - 1)
 		c := copy(out[i:], p.bytes[o:])

@@ -8,12 +8,13 @@ import "fmt"
 // program behaves identically natively and under the code-cache runtime) and
 // to exercise multithreading.
 const (
-	SysExit      = 1 // ebx = exit code; halts the calling thread
-	SysWriteChar = 2 // bl = byte to append to the machine's output
-	SysWriteU32  = 3 // ebx = value, written in decimal
-	SysWriteMem  = 4 // ebx = address, ecx = length
-	SysSpawn     = 5 // ebx = entry pc, ecx = stack top; eax <- thread id
-	SysYield     = 6 // hint; no architectural effect
+	SysExit            = 1 // ebx = exit code; halts the calling thread
+	SysWriteChar       = 2 // bl = byte to append to the machine's output
+	SysWriteU32        = 3 // ebx = value, written in decimal
+	SysWriteMem        = 4 // ebx = address, ecx = length
+	SysSpawn           = 5 // ebx = entry pc, ecx = stack top; eax <- thread id
+	SysYield           = 6 // hint; no architectural effect
+	SysSetFaultHandler = 7 // ebx = handler pc for synchronous faults (0 = none)
 )
 
 // SyscallVector is the interrupt vector used for system calls.
@@ -32,7 +33,20 @@ type SyscallRecord struct {
 
 func (m *Machine) syscall(t *Thread, vector uint8) error {
 	if vector != SyscallVector {
-		return fmt.Errorf("machine: int %#x is not a system call vector", vector)
+		// An int to a vector the simulated OS does not serve is an
+		// architectural event on this thread, not a machine failure.
+		return &Fault{Kind: FaultSoftware}
+	}
+	if m.injections != nil {
+		ord := t.syscallSeen
+		t.syscallSeen++
+		if inj := m.injectionFor(t.ID, true, ord); inj != nil {
+			// The displaced system call does not execute and is not
+			// traced; EIP already points past the int instruction.
+			return &Fault{Kind: inj.Kind, Addr: inj.Addr}
+		}
+	} else {
+		t.syscallSeen++
 	}
 	c := &t.CPU
 	m.SyscallTrace = append(m.SyscallTrace, SyscallRecord{
@@ -41,7 +55,7 @@ func (m *Machine) syscall(t *Thread, vector uint8) error {
 	switch c.R[0] { // eax
 	case SysExit:
 		t.ExitCode = int32(c.R[3]) // ebx
-		t.Halted = true
+		m.haltThread(t)
 	case SysWriteChar:
 		m.Output = append(m.Output, byte(c.R[3]))
 	case SysWriteU32:
@@ -62,6 +76,8 @@ func (m *Machine) syscall(t *Thread, vector uint8) error {
 		}
 	case SysYield:
 		// Scheduling is round-robin regardless; nothing to do.
+	case SysSetFaultHandler:
+		t.FaultHandler = Addr(c.R[3]) // ebx
 	default:
 		return fmt.Errorf("machine: unknown system call %d", c.R[0])
 	}

@@ -30,13 +30,20 @@ main:
 		t.Errorf("unknown syscall: %v", err)
 	}
 
-	// Non-syscall interrupt vector.
-	err = runErr(t, `
+	// A non-syscall interrupt vector is an architectural software fault on
+	// the issuing thread, not a machine failure.
+	img := image.MustAssemble("t", `
 main:
     int 0x21
 `)
-	if err == nil || !strings.Contains(err.Error(), "not a system call vector") {
-		t.Errorf("bad vector: %v", err)
+	m := machine.New(machine.PentiumIV())
+	img.Boot(m)
+	if err := m.Run(100000); err != nil {
+		t.Errorf("bad vector should fault the thread, not the run: %v", err)
+	}
+	th := m.Threads[0]
+	if !th.Halted || th.FaultRecord == nil || th.FaultRecord.Kind != machine.FaultSoftware {
+		t.Errorf("bad vector: halted=%v record=%+v, want software fault", th.Halted, th.FaultRecord)
 	}
 
 	// Oversized SysWriteMem.
@@ -139,7 +146,14 @@ func TestUndecodableApplicationCode(t *testing.T) {
 	m := machine.New(machine.PentiumIV())
 	m.Mem.WriteBytes(0x1000, []byte{0x0F, 0x0B}) // not in the subset
 	m.Threads[0].CPU.EIP = 0x1000
-	if err := m.Step(m.Threads[0]); err == nil {
-		t.Error("want decode error")
+	if err := m.Step(m.Threads[0]); err != nil {
+		t.Errorf("undecodable bytes should raise #UD, not a run error: %v", err)
+	}
+	th := m.Threads[0]
+	if !th.Halted || th.FaultRecord == nil || th.FaultRecord.Kind != machine.FaultUD {
+		t.Fatalf("halted=%v record=%+v, want #UD record", th.Halted, th.FaultRecord)
+	}
+	if th.FaultRecord.EIP != 0x1000 {
+		t.Errorf("fault EIP = %#x, want 0x1000", th.FaultRecord.EIP)
 	}
 }
