@@ -12,6 +12,9 @@
 //	drbench -cachesweep -json BENCH_cachesweep.json
 //	drbench -faultstorm          # fault-injection differential: 22 benchmarks x seeds x configs
 //	drbench -faultstorm -seeds 101,202,303 -json BENCH_faultstorm.json
+//	drbench -profile             # where-the-cycles-go: phase accounting + hottest fragments
+//	drbench -profile -json BENCH_profile.json
+//	drbench -profile -ring 4096 -trace-out BENCH_events.jsonl   # runtime event trace
 //	drbench -all                 # everything
 //	drbench -verify              # transparency matrix: 22 benchmarks x 11 configs
 //
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -47,9 +51,13 @@ func main() {
 		cacheBB    = flag.Int("cache-bb", 0, "per-thread basic-block cache budget in bytes for -figure5 (0 = unbounded)")
 		cacheTrace = flag.Int("cache-trace", 0, "per-thread trace cache budget in bytes for -figure5 (0 = unbounded)")
 		adaptive   = flag.Bool("adaptive", false, "enable adaptive cache resizing for -figure5 (needs a bounded cache)")
+		profile    = flag.Bool("profile", false, "run the where-the-cycles-go experiment: per-phase tick accounting + per-fragment profiles")
+		topN       = flag.Int("top", 10, "hottest fragments kept per benchmark for -profile")
+		ring       = flag.Int("ring", 0, "per-thread event-trace ring size for -profile (0 = tracing off)")
+		traceOut   = flag.String("trace-out", "", "write the drained -profile event trace as JSONL to this path (implies -ring 4096 unless set)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*faultstorm && !*all && !*verify {
+	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*faultstorm && !*profile && !*all && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -90,6 +98,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "drbench:", err)
 			os.Exit(1)
 		}
+		requireResults("figure5", len(rows))
 		fmt.Print(harness.FormatFigure5(rows))
 		if *jsonPath != "" {
 			if err := writeJSON(*jsonPath, rows, *parallel, elapsed); err != nil {
@@ -111,6 +120,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "drbench:", err)
 			os.Exit(1)
 		}
+		requireResults("cachesweep", len(rows))
 		fmt.Print(harness.FormatCacheSweep(points, rows))
 		if *jsonPath != "" {
 			path := *jsonPath
@@ -140,6 +150,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "drbench:", err)
 			os.Exit(1)
 		}
+		requireResults("faultstorm", len(rows))
 		fmt.Print(harness.FormatFaultStorm(seeds, configs, rows))
 		failed := false
 		for _, r := range rows {
@@ -161,6 +172,55 @@ func main() {
 		if failed {
 			os.Exit(1)
 		}
+	}
+
+	if *profile || *all {
+		ringSize := *ring
+		if *traceOut != "" && ringSize == 0 {
+			ringSize = 4096
+		}
+		start := time.Now()
+		rows, err := harness.Profile(*parallel, *topN, ringSize, benches)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		requireResults("profile", len(rows))
+		fmt.Print(harness.FormatProfile(rows))
+		if *jsonPath != "" {
+			path := *jsonPath
+			if figure5JSONWritten || cachesweepJSONWritten {
+				path += ".profile.json" // several matrices requested: keep all files
+			}
+			if err := writeProfileJSON(path, rows, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
+		}
+		if *traceOut != "" {
+			if err := writeTraceJSONL(*traceOut, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			n, dropped := 0, uint64(0)
+			for _, r := range rows {
+				n += len(r.Events)
+				dropped += r.EventsDropped
+			}
+			fmt.Printf("wrote %s (%d events, %d dropped by the rings)\n", *traceOut, n, dropped)
+		}
+	}
+}
+
+// requireResults enforces that a requested experiment measured something:
+// an empty result set means the run silently did no work, which must fail
+// loudly rather than produce an empty artifact.
+func requireResults(experiment string, n int) {
+	if n == 0 {
+		fmt.Fprintf(os.Stderr, "drbench: %s produced zero workload results\n", experiment)
+		os.Exit(1)
 	}
 }
 
@@ -339,6 +399,84 @@ func writeStormJSON(path string, seeds []int64, rows []harness.StormRow, workers
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// profileJSON is the file layout of -profile -json: per benchmark the
+// per-phase tick breakdown (phase_ticks sums exactly to ticks — the
+// conservation invariant CI asserts), the hottest fragments, and the cache
+// counters behind them.
+type profileJSON struct {
+	Schema           string           `json:"schema"`
+	Workers          int              `json:"workers"`
+	WallClockSeconds float64          `json:"wall_clock_seconds"`
+	Phases           []string         `json:"phases"`
+	Rows             []profileRowJSON `json:"rows"`
+}
+
+type profileRowJSON struct {
+	Benchmark  string            `json:"benchmark"`
+	Class      string            `json:"class"`
+	Ticks      uint64            `json:"ticks"`
+	Normalized float64           `json:"normalized"`
+	PhaseTicks map[string]uint64 `json:"phase_ticks"`
+
+	Fragments int                   `json:"fragments"`
+	Top       []obs.FragmentProfile `json:"top"`
+
+	BlocksBuilt uint64 `json:"blocks_built"`
+	TracesBuilt uint64 `json:"traces_built"`
+	Evictions   uint64 `json:"evictions"`
+	IBLMisses   uint64 `json:"ibl_misses"`
+
+	Events        int    `json:"events,omitempty"`
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+}
+
+func writeProfileJSON(path string, rows []harness.ProfileRow, workers int, elapsed time.Duration) error {
+	out := profileJSON{
+		Schema:           "drbench/profile/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+		Phases:           obs.PhaseNames(),
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, profileRowJSON{
+			Benchmark:     r.Benchmark,
+			Class:         r.Class.String(),
+			Ticks:         uint64(r.Ticks),
+			Normalized:    r.Normalized,
+			PhaseTicks:    r.Phases.Map(),
+			Fragments:     r.Fragments,
+			Top:           r.Top,
+			BlocksBuilt:   r.Stats.BlocksBuilt,
+			TracesBuilt:   r.Stats.TracesBuilt,
+			Evictions:     r.Stats.Evictions,
+			IBLMisses:     r.Stats.IBLMisses,
+			Events:        len(r.Events),
+			EventsDropped: r.EventsDropped,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTraceJSONL writes every benchmark's drained event trace as JSON
+// lines, each labeled with its benchmark name.
+func writeTraceJSONL(path string, rows []harness.ProfileRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := obs.WriteJSONL(f, r.Benchmark, r.Events); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // runVerify exercises the whole matrix: every benchmark under the five

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Re-exported runtime types: a client imports only this package and
@@ -38,6 +39,17 @@ type (
 	// cache's capacity.
 	FragmentEvictedHook = core.FragmentEvictedHook
 	CacheResizedHook    = core.CacheResizedHook
+
+	// Observability surface (where-the-cycles-go accounting): phase tick
+	// breakdowns, per-fragment execution profiles and the runtime event
+	// trace. Clients reach them through RIO.PhaseTicks, RIO.FragmentProfiles,
+	// RIO.TopFragments, RIO.StatsSnapshot and RIO.Tracer.
+	Phase           = obs.Phase
+	PhaseTicks      = obs.PhaseTicks
+	FragmentProfile = obs.FragmentProfile
+	FragCounts      = obs.FragCounts
+	TraceEvent      = obs.Event
+	EventTracer     = obs.Tracer
 )
 
 // Fragment kinds.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Basic-block construction limits.
@@ -106,12 +107,14 @@ func (r *RIO) BlockEndInfo(tag machine.Addr) (op ia32.Opcode, target machine.Add
 // decode, client hooks, mangling, emission. This is the "start building
 // basic block" box of the paper's Figure 1.
 func (r *RIO) buildBB(ctx *Context, tag machine.Addr) *Fragment {
+	prev := r.M.SetChargePhase(obs.PhaseBlockBuild)
+	defer r.M.SetChargePhase(prev)
 	list, count, end, err := r.decodeBlock(tag)
 	if err != nil {
 		panic(err)
 	}
 	spans := r.spansFor(tag, end)
-	r.Stats.BlocksBuilt++
+	statInc(&r.Stats.BlocksBuilt)
 	cost := r.Opts.Cost
 	r.M.Charge(cost.BuildBlock + machine.Ticks(count)*cost.BuildInstr)
 

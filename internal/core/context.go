@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ia32"
 	"repro/internal/machine"
@@ -145,6 +146,22 @@ type Context struct {
 
 	// localNext is the thread-private runtime heap bump pointer.
 	localNext machine.Addr
+
+	// profs is the per-fragment profile table (Options.Profile), keyed by
+	// fragment identity and parallel to frags: profile records survive
+	// eviction of the fragments they describe (see profile.go).
+	profs map[fragProfKey]*fragProf
+
+	// fromIBLMiss marks that the current dispatch was entered through the
+	// IBL miss path, so the miss can be attributed to the fragment the
+	// dispatcher resolves.
+	fromIBLMiss bool
+
+	// liveBB/liveTrace mirror the regions' live-byte counts for
+	// concurrent snapshot readers (StatsSnapshot aggregates them across
+	// threads).
+	liveBB    atomic.Int64
+	liveTrace atomic.Int64
 }
 
 // Detached reports whether this thread has detached from the runtime and
@@ -265,7 +282,7 @@ func (c *Context) lookup(tag machine.Addr) *Fragment {
 func (c *Context) stale(f *Fragment) bool {
 	for _, s := range f.spans {
 		if c.rio.M.Mem.Gen(s.page) != s.gen {
-			c.rio.Stats.StaleFragments++
+			statInc(&c.rio.Stats.StaleFragments)
 			return true
 		}
 	}
@@ -380,7 +397,7 @@ func (c *Context) allocCache(kind FragmentKind, n int) machine.Addr {
 			panic(fmt.Sprintf("core: %s cache exhausted (thread %d, need %d bytes)",
 				kind, c.thread.ID, n))
 		}
-		c.rio.Stats.CacheFlushes++
+		statInc(&c.rio.Stats.CacheFlushes)
 		c.flushForReuse()
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ia32"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // onStart is the trap entered when a thread first starts under the runtime.
@@ -48,7 +49,8 @@ func (r *RIO) onIBLMiss(t *machine.Thread) (machine.TrapAction, error) {
 	tag := t.CPU.Reg(ia32.ECX)
 	t.CPU.SetReg(ia32.ECX, r.M.Mem.Read32(ctx.spillAddr(offSpillECX)))
 	ctx.lastExit = nil
-	r.Stats.IBLMisses++
+	ctx.fromIBLMiss = true
+	statInc(&r.Stats.IBLMisses)
 	return r.dispatch(ctx, tag)
 }
 
@@ -68,9 +70,11 @@ func (r *RIO) onCleanCall(t *machine.Thread) (machine.TrapAction, error) {
 	// Restore EAX so the callback sees the application context.
 	t.CPU.SetReg(ia32.EAX, r.M.Mem.Read32(ctx.spillAddr(offSpillEAX)))
 
-	r.Stats.CleanCalls++
+	statInc(&r.Stats.CleanCalls)
+	prev := r.M.SetChargePhase(obs.PhaseContextSwitch)
 	r.M.Charge(r.Opts.Cost.CleanCall)
 	r.cleanCalls[id](ctx)
+	r.M.SetChargePhase(prev)
 
 	t.CPU.EIP = ret
 	return machine.TrapContinue, nil
@@ -92,8 +96,17 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 			act, err = r.detach(ctx, tag, p)
 		}
 	}()
-	r.Stats.ContextSwitches++
+	// The modeled dispatch cost is the context switch into the runtime;
+	// the rest of the dispatcher's work charges as dispatch proper unless
+	// a mechanism below (block build, trace build, eviction, translation)
+	// brackets its own phase.
+	prevPhase := r.M.SetChargePhase(obs.PhaseContextSwitch)
+	defer r.M.SetChargePhase(prevPhase)
+	statInc(&r.Stats.ContextSwitches)
 	r.M.Charge(r.Opts.Cost.Dispatch)
+	r.M.SetChargePhase(obs.PhaseDispatch)
+	fromIBL := ctx.fromIBLMiss
+	ctx.fromIBLMiss = false
 
 	if h := r.Opts.InternalFaultHook; h != nil && h(ctx, tag) {
 		panic(fmt.Sprintf("core: injected internal fault at %#x", tag))
@@ -137,12 +150,15 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 	if f == nil {
 		f = r.buildBB(ctx, tag)
 	}
+	if fromIBL && f.prof != nil {
+		f.prof.iblMisses++
+	}
 
 	if r.Opts.EnableTraces && r.Opts.Mode == ModeCache {
 		r.noteTraceHead(ctx, tag, f)
 		if ctx.isHead[tag] && f.Kind == KindBasicBlock {
 			ctx.headCounter[tag]++
-			r.Stats.TraceHeadBumps++
+			statInc(&r.Stats.TraceHeadBumps)
 			if ctx.headCounter[tag] >= r.Opts.TraceThreshold {
 				// Hot: enter trace generation mode at this head.
 				ctx.selecting = true
@@ -187,6 +203,11 @@ func (r *RIO) noteTraceHead(ctx *Context, tag machine.Addr, f *Fragment) {
 
 // enter re-enters the code cache at fragment f.
 func (r *RIO) enter(ctx *Context, f *Fragment) (machine.TrapAction, error) {
+	if f.prof != nil {
+		// Dispatcher-mediated entry; link- and IBL-mediated ones are
+		// observed by the machine as code-region transitions.
+		r.M.FragEntered(f.prof.fid)
+	}
 	ctx.thread.CPU.EIP = f.Entry
 	ctx.lastExit = nil
 	return machine.TrapContinue, nil
@@ -201,7 +222,12 @@ func (r *RIO) deliverDeleted(ctx *Context) {
 		dead := ctx.pendingDeleted
 		ctx.pendingDeleted = nil
 		for _, f := range dead {
-			r.Stats.FragmentsDeleted++
+			statInc(&r.Stats.FragmentsDeleted)
+			if f.Kind == KindTrace {
+				statInc(&r.Stats.FragmentsDeletedTrace)
+			} else {
+				statInc(&r.Stats.FragmentsDeletedBB)
+			}
 			for _, cl := range r.Clients {
 				if h, ok := cl.(FragmentDeletedHook); ok {
 					h.FragmentDeleted(ctx, f.Tag)
@@ -245,5 +271,6 @@ func (r *RIO) deliverSignal(ctx *Context, tag machine.Addr) machine.Addr {
 	sp := cpu.Reg(ia32.ESP) - 4
 	cpu.SetReg(ia32.ESP, sp)
 	r.M.Mem.Write32(sp, tag)
+	r.event(ctx.thread.ID, obs.Event{Type: obs.EvSignal, Tag: uint32(tag), Target: uint32(h)})
 	return h
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // stubTailLen is the size of a stub's unlinked tail:
@@ -197,6 +198,11 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 	ctx.register(f)
 	ctx.noteFragment(f)
 	ctx.xl8Frags = append(ctx.xl8Frags, f)
+	r.noteEmitProfile(ctx, f)
+	r.event(ctx.thread.ID, obs.Event{
+		Type: obs.EvEmit, Tag: uint32(tag), Addr: uint32(base),
+		Kind: kind.String(), Size: total,
+	})
 	return f
 }
 
@@ -330,7 +336,11 @@ func (r *RIO) link(e *Exit, f *Fragment) {
 	e.state = stateLinkedFrag
 	e.linkedTo = f
 	f.inLinks[e] = struct{}{}
-	r.Stats.Links++
+	statInc(&r.Stats.Links)
+	r.event(e.Owner.ctx.thread.ID, obs.Event{
+		Type: obs.EvLink, Tag: uint32(e.Owner.Tag), Addr: uint32(e.ctiAddr),
+		Target: uint32(f.Tag), Kind: f.Kind.String(),
+	})
 }
 
 // linkIBL wires an indirect exit to the thread's lookup routine.
@@ -368,7 +378,10 @@ func (r *RIO) unlink(e *Exit) {
 		r.patchCTI(e, e.stubAddr)
 	}
 	e.state = stateUnlinked
-	r.Stats.Unlinks++
+	statInc(&r.Stats.Unlinks)
+	r.event(e.Owner.ctx.thread.ID, obs.Event{
+		Type: obs.EvUnlink, Tag: uint32(e.Owner.Tag), Addr: uint32(e.ctiAddr),
+	})
 }
 
 // unlinkOutgoing unlinks every exit of f, remembering nothing; callers that

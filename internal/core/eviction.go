@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Cache capacity management (Section 6 of the paper).
@@ -210,6 +211,9 @@ func (c *Context) reclaim(reg *cacheRegion, f *Fragment) {
 // counted as a regeneration.
 func (c *Context) evict(f *Fragment) {
 	r := c.rio
+	prev := r.M.SetChargePhase(obs.PhaseEviction)
+	defer r.M.SetChargePhase(prev)
+	r.M.Charge(r.Opts.Cost.Evict)
 	c.killFragment(f)
 
 	switch owner := c.frags[f.Tag]; {
@@ -235,7 +239,14 @@ func (c *Context) evict(f *Fragment) {
 	}
 	c.evicted[f.Tag] |= 1 << f.Kind
 
-	r.Stats.Evictions++
+	statInc(&r.Stats.Evictions)
+	if f.prof != nil {
+		f.prof.evictions++
+	}
+	r.event(c.thread.ID, obs.Event{
+		Type: obs.EvEvict, Tag: uint32(f.Tag), Addr: uint32(f.Entry),
+		Kind: f.Kind.String(), Size: f.Size,
+	})
 	c.pendingEvicted = append(c.pendingEvicted, evictedEvent{tag: f.Tag, kind: f.Kind})
 
 	reg := c.region(f.Kind)
@@ -261,7 +272,10 @@ func (c *Context) growRegion(reg *cacheRegion, newCap int) {
 	}
 	old := reg.capacity()
 	reg.limit = reg.base + machine.Addr(newCap)
-	c.rio.Stats.CacheResizes++
+	statInc(&c.rio.Stats.CacheResizes)
+	c.rio.event(c.thread.ID, obs.Event{
+		Type: obs.EvResize, Kind: reg.kind.String(), Old: old, New: newCap,
+	})
 	c.pendingResized = append(c.pendingResized, resizedEvent{kind: reg.kind, oldBytes: old, newBytes: newCap})
 }
 
@@ -301,15 +315,18 @@ func (c *Context) noteFragment(f *Fragment) {
 	bit := uint8(1) << f.Kind
 	if c.evicted[f.Tag]&bit != 0 {
 		c.evicted[f.Tag] &^= bit
-		c.rio.Stats.Regenerations++
+		statInc(&c.rio.Stats.Regenerations)
 		reg.epochRegens++
 	}
 }
 
-// updateLiveGauges mirrors the per-region live-byte counts into Stats.
+// updateLiveGauges publishes the per-region live-byte counts to this
+// context's atomic gauges, which StatsSnapshot aggregates across threads
+// (the per-thread gauges are authoritative; a global mirror would be
+// last-writer-wins across threads).
 func (c *Context) updateLiveGauges() {
-	c.rio.Stats.BBCacheLiveBytes = uint64(c.bb.liveBytes)
-	c.rio.Stats.TraceCacheLiveBytes = uint64(c.trace.liveBytes)
+	c.liveBB.Store(int64(c.bb.liveBytes))
+	c.liveTrace.Store(int64(c.trace.liveBytes))
 }
 
 // CacheUsage reports the live fragment bytes and current capacity of one of

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Fault transparency (the paper's Section 3.3.4): a synchronous fault raised
@@ -35,6 +36,9 @@ func (r *RIO) translateFault(t *machine.Thread, f *machine.Fault) (ok bool) {
 	if frag == nil {
 		return false // IBL routine, TLS, or reclaimed bytes: untranslatable
 	}
+	prev := r.M.SetChargePhase(obs.PhaseFaultTranslate)
+	defer r.M.SetChargePhase(prev)
+	r.M.Charge(r.Opts.Cost.FaultTranslate)
 	app, scratch, found := frag.translate(pc)
 	if !found {
 		return false
@@ -67,7 +71,11 @@ func (r *RIO) translateFault(t *machine.Thread, f *machine.Fault) (ok bool) {
 		cpu.SetReg(ia32.ECX, mem.Read32(fctx.spillAddr(offSpillECX)))
 	}
 	cpu.EIP = app
-	r.Stats.FaultsTranslated++
+	statInc(&r.Stats.FaultsTranslated)
+	r.event(t.ID, obs.Event{
+		Type: obs.EvFaultXl8, Tag: uint32(frag.Tag), Addr: uint32(pc),
+		Target: uint32(app), Kind: frag.Kind.String(),
+	})
 	return true
 }
 
@@ -99,15 +107,16 @@ func (r *RIO) interceptFaultDelivery(t *machine.Thread, f *machine.Fault, handle
 // back to the machine's default delivery so none is lost.
 func (r *RIO) detach(ctx *Context, tag machine.Addr, cause any) (machine.TrapAction, error) {
 	ctx.detached = true
-	r.Stats.Detaches++
+	statInc(&r.Stats.Detaches)
 	t := ctx.thread
+	reason := fmt.Sprint(cause)
+	r.event(t.ID, obs.Event{Type: obs.EvDetach, Tag: uint32(tag), Note: reason})
 	t.CPU.EIP = tag
 	pending := ctx.pendingSignals
 	ctx.pendingSignals = nil
 	for _, h := range pending {
 		r.M.QueueSignal(t, h)
 	}
-	reason := fmt.Sprint(cause)
 	for _, cl := range r.Clients {
 		if h, hok := cl.(ThreadDetachHook); hok {
 			h.ThreadDetach(ctx, tag, reason)

@@ -162,6 +162,10 @@ type Fragment struct {
 	// by offset; each entry covers [off, next.off).
 	xl8 []xl8Entry
 
+	// prof is this fragment identity's profile record (nil unless
+	// Options.Profile); it outlives the fragment across evict/rebuild.
+	prof *fragProf
+
 	ctx *Context // owning thread context
 }
 

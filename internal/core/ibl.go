@@ -4,6 +4,7 @@ import (
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // emitIBLRoutines builds the thread's in-cache indirect-branch lookup
@@ -49,6 +50,7 @@ func (r *RIO) emitIBLRoutines(ctx *Context) {
 		ctx.iblEntry[bt] = addr
 		bytes := r.buildIBL(ctx, addr)
 		r.M.Mem.WriteBytes(addr, bytes)
+		r.M.MapCodeRange(addr, addr+machine.Addr(len(bytes)), obs.PhaseIBLLookup, 0, false)
 		addr += machine.Addr((len(bytes) + 15) &^ 15)
 	}
 }

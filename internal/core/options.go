@@ -92,6 +92,21 @@ type Options struct {
 	// detach-on-internal-failure path without corrupting real state.
 	InternalFaultHook func(ctx *Context, tag machine.Addr) bool
 
+	// Profile turns on the observability layer: per-tick phase accounting
+	// (every simulated tick attributed to a named execution phase, the
+	// paper's Section 4 breakdown) and per-fragment profiles (execution
+	// counts, tick attribution, stub traversals, IBL hits/misses).
+	// Profiling observes execution from outside the cache — no
+	// instrumentation code is emitted — so it changes neither the
+	// program's behaviour nor its tick totals.
+	Profile bool
+
+	// EventRing sizes the per-thread runtime event trace ring (fragment
+	// emit/link/unlink/evict/resize, detach, fault translation, signal
+	// delivery). 0 disables tracing at the cost of one branch per event
+	// site.
+	EventRing int
+
 	Cost CostModel
 }
 
@@ -135,6 +150,16 @@ type CostModel struct {
 	// top of the per-instruction trace construction costs.
 	ReplaceFragment machine.Ticks
 
+	// Evict is charged per fragment evicted under capacity pressure: the
+	// unlinking, lookup-table scrubbing and allocator bookkeeping of
+	// Section 6's FIFO replacement.
+	Evict machine.Ticks
+
+	// FaultTranslate is charged per fault whose cache context is
+	// translated back to native application form (the state translation
+	// of Section 3.3.4).
+	FaultTranslate machine.Ticks
+
 	// Sync is charged per cache *change* (fragment creation, link,
 	// unlink, replacement) in the SharedCache ablation: with a shared
 	// cache every change must be synchronized with all running threads
@@ -165,6 +190,8 @@ func DefaultCost() CostModel {
 		ClientInstr:     100,
 		CleanCall:       160, // ~40 cycles to save/restore around a call
 		ReplaceFragment: 8000,
+		Evict:           200, // ~50 cycles to unlink and scrub one victim
+		FaultTranslate:  400, // ~100 cycles to walk the xl8 table and rebuild state
 		Sync:            20000, // ~5000 cycles to coordinate all threads
 	}
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Per-fragment profiles (Options.Profile). The runtime keeps one profile
+// record per fragment identity — an application tag in one thread's
+// basic-block or trace cache — in a table parallel to the fragment lookup
+// table. The record, not the fragment, owns the stable machine-side profile
+// id, so eviction and rebuild accumulate into the same counters: profiles
+// survive FIFO eviction with their counts intact, which is what lets an
+// adaptive client consume them the way the paper's trace selection does.
+
+// fragProfKey identifies a fragment identity within one thread.
+type fragProfKey struct {
+	tag  machine.Addr
+	kind FragmentKind
+}
+
+// fragProf is the runtime-side half of a fragment profile; the machine
+// accumulates the execution-side counters under fid.
+type fragProf struct {
+	fid       uint32
+	builds    uint64
+	evictions uint64
+	iblMisses uint64
+	startPC   machine.Addr
+	endPC     machine.Addr
+	size      int
+}
+
+// noteEmitProfile records an emission in the fragment's profile (creating
+// it on first build), classifies the emitted code region for phase
+// accounting, and tags the fragment with its profile id.
+func (r *RIO) noteEmitProfile(ctx *Context, f *Fragment) {
+	if !r.Opts.Profile {
+		return
+	}
+	key := fragProfKey{tag: f.Tag, kind: f.Kind}
+	if ctx.profs == nil {
+		ctx.profs = map[fragProfKey]*fragProf{}
+	}
+	p := ctx.profs[key]
+	if p == nil {
+		p = &fragProf{fid: r.M.AllocFragID()}
+		ctx.profs[key] = p
+	}
+	p.builds++
+	p.size = f.Size
+	p.startPC, p.endPC = f.appRange()
+	f.prof = p
+
+	bodyPhase := obs.PhaseAppCacheBB
+	if f.Kind == KindTrace {
+		bodyPhase = obs.PhaseAppCacheTrace
+	}
+	r.M.MapCodeRange(f.Entry, f.Entry+machine.Addr(f.BodyLen), bodyPhase, p.fid, false)
+	if f.Size > f.BodyLen {
+		r.M.MapCodeRange(f.Entry+machine.Addr(f.BodyLen), f.Entry+machine.Addr(f.Size),
+			obs.PhaseExitStub, p.fid, true)
+	}
+}
+
+// appRange bounds the application code a fragment was built from, derived
+// from its translation table: identity runs extend to the end of their
+// copied bytes, annotated instructions contribute the PC of the transfer
+// they stand in for.
+func (f *Fragment) appRange() (start, end machine.Addr) {
+	start, end = f.Tag, f.Tag
+	for i, e := range f.xl8 {
+		if e.app == 0 {
+			continue
+		}
+		if start == f.Tag && e.app < start {
+			start = e.app
+		}
+		hi := e.app
+		if e.ident {
+			// The run covers the copied bytes up to the next table entry
+			// (or the body end).
+			next := uint32(f.BodyLen)
+			if i+1 < len(f.xl8) {
+				next = f.xl8[i+1].off
+			}
+			hi += machine.Addr(next - e.off)
+		}
+		if e.app < start {
+			start = e.app
+		}
+		if hi > end {
+			end = hi
+		}
+	}
+	return start, end
+}
+
+// PhaseTicks returns the machine's per-phase tick breakdown (zero unless
+// Options.Profile enabled phase accounting).
+func (r *RIO) PhaseTicks() obs.PhaseTicks { return r.M.PhaseTicks() }
+
+// Tracer returns the runtime's event tracer (never nil; disabled at ring
+// size 0). Drain it for the emit/link/unlink/evict/resize, detach, fault
+// translation and signal delivery event stream.
+func (r *RIO) Tracer() *obs.Tracer { return r.tracer }
+
+// FragmentProfiles snapshots every fragment profile across all threads,
+// folding in the machine-side counters. This is the client-API accessor
+// for the paper-style profile tables; order is deterministic (thread, tag,
+// kind).
+func (r *RIO) FragmentProfiles() []obs.FragmentProfile {
+	if !r.Opts.Profile {
+		return nil
+	}
+	r.ctxMu.RLock()
+	defer r.ctxMu.RUnlock()
+	var out []obs.FragmentProfile
+	for id, ctx := range r.contexts {
+		for key, p := range ctx.profs {
+			out = append(out, obs.FragmentProfile{
+				Tag:        uint32(key.tag),
+				Trace:      key.kind == KindTrace,
+				Thread:     id,
+				StartPC:    uint32(p.startPC),
+				EndPC:      uint32(p.endPC),
+				Size:       p.size,
+				Builds:     p.builds,
+				Evictions:  p.evictions,
+				IBLMisses:  p.iblMisses,
+				FragCounts: r.M.FragCounts(p.fid),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return !a.Trace && b.Trace
+	})
+	return out
+}
+
+// TopFragments returns the n hottest fragment profiles by tick attribution
+// (the TopN report of the observability layer).
+func (r *RIO) TopFragments(n int) []obs.FragmentProfile {
+	return obs.TopN(r.FragmentProfiles(), n)
+}
+
+// event records a runtime event in the trace ring, stamping the current
+// machine time. It is a no-op (one branch) when the ring is disabled.
+func (r *RIO) event(thread int, ev obs.Event) {
+	if !r.tracer.Enabled() {
+		return
+	}
+	ev.Tick = uint64(r.M.Ticks)
+	ev.Thread = thread
+	r.tracer.Record(ev)
+}

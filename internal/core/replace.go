@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // DecodeFragment re-creates the InstrList for a fragment from the code
@@ -22,6 +23,8 @@ func (c *Context) DecodeFragment(tag machine.Addr) *instr.List {
 		return nil
 	}
 	r := c.rio
+	prev := r.M.SetChargePhase(obs.PhaseTraceBuild)
+	defer r.M.SetChargePhase(prev)
 
 	exitByAddr := make(map[machine.Addr]*Exit, len(f.Exits))
 	for _, e := range f.Exits {
@@ -93,7 +96,9 @@ func (c *Context) ReplaceFragment(tag machine.Addr, il *instr.List) bool {
 		return false
 	}
 	r := c.rio
-	r.Stats.Replacements++
+	prev := r.M.SetChargePhase(obs.PhaseTraceBuild)
+	defer r.M.SetChargePhase(prev)
+	statInc(&r.Stats.Replacements)
 	r.M.Charge(r.Opts.Cost.ReplaceFragment)
 
 	// The calling thread may be executing inside the old fragment; cache

@@ -3,13 +3,17 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/ia32"
 	"repro/internal/image"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
-// Stats counts runtime events.
+// Stats counts runtime events. All fields are written with atomic adds and
+// may be read directly once a run has finished; concurrent readers must use
+// StatsSnapshot (see stats.go for the protocol).
 type Stats struct {
 	ContextSwitches  uint64
 	BlocksBuilt      uint64
@@ -25,6 +29,12 @@ type Stats struct {
 	TraceHeadBumps   uint64
 	EmulatedInstrs   uint64
 
+	// Per-kind splits of FragmentsDeleted, for the conservation
+	// invariant: BlocksBuilt == live BB fragments + FragmentsDeletedBB
+	// (and likewise for traces) once deletion events have been delivered.
+	FragmentsDeletedBB    uint64
+	FragmentsDeletedTrace uint64
+
 	// Bounded-cache management (Section 6): fragments evicted under
 	// capacity pressure, evicted fragments later rebuilt (the signal
 	// driving adaptive sizing), and adaptive/forced capacity grows.
@@ -38,8 +48,10 @@ type Stats struct {
 	FaultsTranslated uint64
 	Detaches         uint64
 
-	// Live-fragment byte gauges, updated as fragments are created and die;
-	// with several threads they reflect the thread that changed last.
+	// Live-fragment byte gauges. The authoritative per-thread gauges live
+	// on each Context; StatsSnapshot aggregates them across threads at
+	// snapshot time. These fields are only populated in snapshots — in
+	// the RIO's own Stats they stay zero.
 	BBCacheLiveBytes    uint64
 	TraceCacheLiveBytes uint64
 }
@@ -58,7 +70,14 @@ type RIO struct {
 	// never touches the application's output stream).
 	Out io.Writer
 
+	// contexts maps thread ids to runtime contexts; ctxMu guards the map
+	// against concurrent StatsSnapshot/profile readers while the running
+	// machine spawns threads.
 	contexts map[int]*Context
+	ctxMu    sync.RWMutex
+
+	// tracer is the runtime event ring (never nil; disabled at size 0).
+	tracer *obs.Tracer
 
 	linkstubs []*Exit
 
@@ -107,9 +126,15 @@ func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clie
 		Img:      img,
 		Out:      out,
 		contexts: map[int]*Context{},
+		tracer:   obs.NewTracer(opts.EventRing),
 	}
 	if opts.SharedCache {
 		r.sharedFrags = map[machine.Addr]*Fragment{}
+	}
+	if opts.Profile {
+		// Must happen before any ticks accrue so the phase breakdown sums
+		// exactly to machine.Ticks (the conservation invariant).
+		m.EnablePhaseAccounting()
 	}
 
 	img.LoadInto(m.Mem)
@@ -186,7 +211,9 @@ func (r *RIO) setupThread(t *machine.Thread, startTag machine.Addr) {
 		r.emitIBLRoutines(ctx)
 	}
 
+	r.ctxMu.Lock()
 	r.contexts[t.ID] = ctx
+	r.ctxMu.Unlock()
 	t.Local = ctx
 
 	if r.Opts.Mode == ModeEmulate {
@@ -212,7 +239,11 @@ func (r *RIO) setupThread(t *machine.Thread, startTag machine.Addr) {
 
 // ContextOf returns the runtime context of a machine thread, or nil if the
 // thread is not managed by this runtime.
-func (r *RIO) ContextOf(t *machine.Thread) *Context { return r.contexts[t.ID] }
+func (r *RIO) ContextOf(t *machine.Thread) *Context {
+	r.ctxMu.RLock()
+	defer r.ctxMu.RUnlock()
+	return r.contexts[t.ID]
+}
 
 // ctxOf returns the runtime context of a machine thread.
 func (r *RIO) ctxOf(t *machine.Thread) *Context {
@@ -240,7 +271,7 @@ func (r *RIO) fireExitEvents() {
 	}
 	r.exited = true
 	for _, t := range r.M.Threads {
-		ctx := r.contexts[t.ID]
+		ctx := r.ContextOf(t)
 		if ctx == nil {
 			continue
 		}

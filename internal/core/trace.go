@@ -4,6 +4,7 @@ import (
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // traceSelectionStep decides, in trace generation mode, whether the trace
@@ -52,10 +53,12 @@ func (r *RIO) traceSelectionStep(ctx *Context, tag machine.Addr) bool {
 // indirect branches get an in-line target check that exits to the lookup
 // machinery when the assumption fails.
 func (r *RIO) buildTrace(ctx *Context) {
+	prev := r.M.SetChargePhase(obs.PhaseTraceBuild)
+	defer r.M.SetChargePhase(prev)
 	tags := ctx.selTags
 	trace := instr.NewList()
 	cost := r.Opts.Cost
-	r.Stats.TracesBuilt++
+	statInc(&r.Stats.TracesBuilt)
 
 	total := 0
 	var spans []srcSpan

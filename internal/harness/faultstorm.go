@@ -307,13 +307,14 @@ func runStormSchedule(b *workload.Benchmark, sched FaultSchedule, configs []Stor
 			return res, fmt.Errorf("faultstorm: %s seed %d under %s: %v", b.Name, sched.Seed, cfg.Name, err)
 		}
 		got := captureStormState(m)
+		stats := r.StatsSnapshot()
 		res.Outcomes = append(res.Outcomes, StormOutcome{
 			Config:           cfg.Name,
 			Match:            stormStatesEqual(want, got),
 			Mismatch:         stormMismatch(want, got),
-			FaultsTranslated: r.Stats.FaultsTranslated,
-			Detaches:         r.Stats.Detaches,
-			Evictions:        r.Stats.Evictions,
+			FaultsTranslated: stats.FaultsTranslated,
+			Detaches:         stats.Detaches,
+			Evictions:        stats.Evictions,
 		})
 	}
 	return res, nil

@@ -125,7 +125,7 @@ func runConfig(b *workload.Benchmark, opts core.Options, clients ...core.Client)
 		Ticks:      m.Ticks,
 		Normalized: float64(m.Ticks) / float64(native.Ticks),
 		Output:     m.Output,
-		RIOStats:   r.Stats,
+		RIOStats:   r.StatsSnapshot(),
 		Machine:    m.Stats,
 	}, nil
 }

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestProfileExperiment runs the where-the-cycles-go harness over a small
+// benchmark set and checks the rows it hands to cmd/drbench: conservation is
+// enforced by runProfile itself, so here we check the report-facing shape.
+func TestProfileExperiment(t *testing.T) {
+	var benches []*workload.Benchmark
+	for _, name := range []string{"gzip", "crafty", "mgrid"} {
+		b := workload.ByName(name)
+		if b == nil {
+			t.Fatalf("%s not in suite", name)
+		}
+		benches = append(benches, b)
+	}
+	rows, err := Profile(0, 5, 128, benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benches) {
+		t.Fatalf("got %d rows for %d benchmarks", len(rows), len(benches))
+	}
+	for i, r := range rows {
+		if r.Benchmark != benches[i].Name {
+			t.Errorf("row %d: benchmark %q out of input order", i, r.Benchmark)
+		}
+		if r.Ticks == 0 || r.Normalized <= 1.0 {
+			t.Errorf("%s: implausible ticks %d (normalized %.3f)", r.Benchmark, r.Ticks, r.Normalized)
+		}
+		if r.Fragments == 0 {
+			t.Errorf("%s: no fragments profiled", r.Benchmark)
+		}
+		if len(r.Top) == 0 {
+			t.Errorf("%s: empty TopN", r.Benchmark)
+		}
+		if !sort.SliceIsSorted(r.Top, func(a, b int) bool {
+			return r.Top[a].Ticks > r.Top[b].Ticks
+		}) {
+			t.Errorf("%s: TopN not sorted by ticks", r.Benchmark)
+		}
+		if len(r.Events) == 0 {
+			t.Errorf("%s: event ring enabled but no events drained", r.Benchmark)
+		}
+		if r.Stats.BlocksBuilt == 0 {
+			t.Errorf("%s: stats snapshot empty", r.Benchmark)
+		}
+	}
+	if out := FormatProfile(rows); out == "" {
+		t.Error("FormatProfile produced nothing")
+	}
+}

@@ -154,6 +154,10 @@ type Machine struct {
 
 	icache  []icEntry // direct-mapped decoded-instruction cache
 	nextTID int
+
+	// phaseState is the phase-accounting and fragment-profiling state
+	// (see phase.go); inert until EnablePhaseAccounting.
+	phaseState
 }
 
 const icacheBits = 17
@@ -263,8 +267,16 @@ func (t *Thread) PendingSignals() int { return len(t.pendingSignals) }
 // Charge adds modeled overhead time (runtime work performed conceptually on
 // this machine but implemented in Go, e.g. the dispatcher's hashtable
 // lookup). The modeled constants live in the runtime's options; see
-// DESIGN.md.
-func (m *Machine) Charge(t Ticks) { m.Ticks += t }
+// DESIGN.md. Under phase accounting the ticks are attributed to the
+// current charge phase (SetChargePhase) and excluded from the enclosing
+// instruction window's delta.
+func (m *Machine) Charge(t Ticks) {
+	m.Ticks += t
+	if m.phaseOn {
+		m.phaseTicks[m.chargePhase] += uint64(t)
+		m.charged += t
+	}
+}
 
 // InvalidateICache drops all cached decodes (used sparingly; per-page
 // generations catch ordinary code modification automatically).
@@ -320,6 +332,9 @@ func (m *Machine) Step(t *Thread) error {
 		if !ok {
 			return fmt.Errorf("machine: thread %d jumped to unregistered trap address %#x", t.ID, pc)
 		}
+		if m.phaseOn {
+			m.noteTrap()
+		}
 		action, err := h(t)
 		if err != nil {
 			return err
@@ -340,6 +355,9 @@ func (m *Machine) Step(t *Thread) error {
 			// The displaced instruction does not execute or retire.
 			return m.raiseFault(t, &Fault{Kind: inj.Kind, Addr: inj.Addr})
 		}
+	}
+	if m.phaseOn {
+		return m.stepProfiled(t, ci, pc)
 	}
 	m.Stats.Instructions++
 	t.Instret++

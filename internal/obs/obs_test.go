@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPhaseNamesAndSum(t *testing.T) {
+	want := []string{
+		"app-native", "app-cache-bb", "app-cache-trace", "exit-stub",
+		"ibl-lookup", "context-switch", "dispatch", "block-build",
+		"trace-build", "eviction", "fault-translate",
+	}
+	names := PhaseNames()
+	if len(names) != int(NumPhases) || len(names) != len(want) {
+		t.Fatalf("NumPhases = %d, want %d", NumPhases, len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("phase %d = %q, want %q", i, names[i], n)
+		}
+	}
+	var pt PhaseTicks
+	var total uint64
+	for i := range pt {
+		pt[i] = uint64(i * 7)
+		total += pt[i]
+	}
+	if pt.Sum() != total {
+		t.Errorf("Sum = %d, want %d", pt.Sum(), total)
+	}
+	m := pt.Map()
+	if m["dispatch"] != pt[PhaseDispatch] {
+		t.Errorf("Map[dispatch] = %d, want %d", m["dispatch"], pt[PhaseDispatch])
+	}
+}
+
+func TestTopNOrdersByTicks(t *testing.T) {
+	profs := []FragmentProfile{
+		{Tag: 1, FragCounts: FragCounts{Ticks: 10}},
+		{Tag: 2, FragCounts: FragCounts{Ticks: 100}},
+		{Tag: 3, FragCounts: FragCounts{Ticks: 50}},
+		{Tag: 4, FragCounts: FragCounts{Ticks: 50, Execs: 9}},
+	}
+	top := TopN(profs, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].Tag != 2 || top[1].Tag != 4 || top[2].Tag != 3 {
+		t.Errorf("order = %d,%d,%d, want 2,4,3", top[0].Tag, top[1].Tag, top[2].Tag)
+	}
+	if profs[0].Tag != 1 {
+		t.Error("TopN mutated its input")
+	}
+	if s := FormatTop(top); !strings.Contains(s, "execs") {
+		t.Errorf("FormatTop missing header: %q", s)
+	}
+}
+
+func TestTracerDisabledIsNoop(t *testing.T) {
+	for _, tr := range []*Tracer{nil, NewTracer(0), NewTracer(-1)} {
+		if tr.Enabled() {
+			t.Fatal("zero-size tracer reports enabled")
+		}
+		tr.Record(Event{Type: EvEmit})
+		if got := tr.Drain(); got != nil {
+			t.Errorf("disabled Drain = %v, want nil", got)
+		}
+		if tr.Dropped() != 0 {
+			t.Error("disabled tracer counted drops")
+		}
+	}
+}
+
+func TestTracerSequenceAndWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Thread: 0, Type: EvLink, Tag: uint32(i)})
+	}
+	evs := tr.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("drained %d events, want 4 (ring capacity)", len(evs))
+	}
+	// The survivors are the newest four, in sequence order.
+	for i, ev := range evs {
+		if ev.Tag != uint32(6+i) {
+			t.Errorf("event %d tag = %d, want %d", i, ev.Tag, 6+i)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("sequence not increasing: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+	if again := tr.Drain(); len(again) != 0 {
+		t.Errorf("second Drain returned %d events, want 0", len(again))
+	}
+}
+
+func TestTracerPerThreadRingsMergeInSeqOrder(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Thread: 0, Type: EvEmit})
+	tr.Record(Event{Thread: 1, Type: EvEmit})
+	tr.Record(Event{Thread: 0, Type: EvEvict})
+	evs := tr.Drain()
+	if len(evs) != 3 {
+		t.Fatalf("drained %d, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("merged order broken at %d", i)
+		}
+	}
+}
+
+// TestTracerConcurrent exercises Record from many goroutines with a
+// concurrent drainer; under -race this is the regression test for the
+// tracer's locking.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(Event{Thread: id, Type: EvLink, Tag: uint32(i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var drained int
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			drained += len(tr.Drain())
+		}
+	}()
+	wg.Wait()
+	<-done
+	drained += len(tr.Drain())
+	if total := uint64(drained) + tr.Dropped(); total != workers*per {
+		t.Errorf("drained %d + dropped %d = %d, want %d", drained, tr.Dropped(), total, workers*per)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	evs := []Event{
+		{Seq: 1, Tick: 40, Thread: 0, Type: EvEmit, Tag: 0x1000, Kind: "bb", Size: 48},
+		{Seq: 2, Tick: 90, Thread: 1, Type: EvResize, Old: 4096, New: 8192},
+	}
+	if err := WriteJSONL(&buf, "gzip", evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["bench"] != "gzip" || first["type"] != "emit" || first["kind"] != "bb" {
+		t.Errorf("first line = %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["type"] != "resize" || second["new"] != float64(8192) {
+		t.Errorf("second line = %v", second)
+	}
+}

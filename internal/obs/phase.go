@@ -1,0 +1,85 @@
+// Package obs is the observability layer of the runtime: the vocabulary of
+// execution phases every simulated tick is attributed to (the paper's
+// Section 4 overhead breakdown), per-fragment profile records (the counters
+// the paper's adaptive machinery of Section 6 consumes), and a bounded
+// event-trace ring buffer for runtime events. The package is deliberately
+// leaf-level — it imports only the standard library — so machine, core,
+// harness and clients can all share its types without cycles.
+package obs
+
+// Phase names where a simulated tick was spent. Every tick the machine
+// accrues is attributed to exactly one phase (the conservation invariant:
+// the phase ticks sum to machine.Ticks), reproducing the paper's
+// Section 4/Figure 6-style attribution of overhead to named mechanisms.
+type Phase uint8
+
+// The execution phases, in report order. The app-* phases are application
+// work (run natively, or from the basic-block/trace caches); the rest are
+// runtime mechanisms: exit-stub traversal, the in-cache indirect-branch
+// lookup, the context switch into the runtime, dispatcher bookkeeping,
+// fragment construction, cache eviction, and fault-state translation.
+const (
+	PhaseAppNative Phase = iota
+	PhaseAppCacheBB
+	PhaseAppCacheTrace
+	PhaseExitStub
+	PhaseIBLLookup
+	PhaseContextSwitch
+	PhaseDispatch
+	PhaseBlockBuild
+	PhaseTraceBuild
+	PhaseEviction
+	PhaseFaultTranslate
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"app-native",
+	"app-cache-bb",
+	"app-cache-trace",
+	"exit-stub",
+	"ibl-lookup",
+	"context-switch",
+	"dispatch",
+	"block-build",
+	"trace-build",
+	"eviction",
+	"fault-translate",
+}
+
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// PhaseNames returns the phase names in index order (the column order of
+// every phase report).
+func PhaseNames() []string {
+	out := make([]string, NumPhases)
+	copy(out, phaseNames[:])
+	return out
+}
+
+// PhaseTicks is a per-phase tick breakdown.
+type PhaseTicks [NumPhases]uint64
+
+// Sum returns the total ticks across all phases. When phase accounting ran
+// from the machine's first tick, Sum equals machine.Ticks exactly.
+func (pt *PhaseTicks) Sum() uint64 {
+	var s uint64
+	for _, v := range pt {
+		s += v
+	}
+	return s
+}
+
+// Map renders the breakdown keyed by phase name (the JSON form).
+func (pt *PhaseTicks) Map() map[string]uint64 {
+	m := make(map[string]uint64, NumPhases)
+	for i, v := range pt {
+		m[Phase(i).String()] = v
+	}
+	return m
+}

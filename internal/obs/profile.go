@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FragCounts are the execution-side counters of one fragment, accumulated
+// by the machine as it executes cache code: entries into the fragment body,
+// ticks spent in its body and stubs, exit-stub traversals, and
+// indirect-branch lookup hits that landed in it. They are keyed by a stable
+// fragment id that survives eviction and rebuild, so the counts accumulate
+// across a fragment's whole lifetime (the profile persistence the paper's
+// trace selection relies on).
+type FragCounts struct {
+	Execs     uint64 `json:"execs"`
+	Ticks     uint64 `json:"ticks"`
+	StubWalks uint64 `json:"stub_walks"`
+	IBLHits   uint64 `json:"ibl_hits"`
+}
+
+// FragmentProfile is the full profile record of one fragment identity (an
+// application tag in one thread's basic-block or trace cache): the
+// machine-side counters plus the construction-side history the runtime
+// keeps in its profile tables — builds, evictions survived, and
+// indirect-branch lookup misses that re-entered the dispatcher to reach it.
+type FragmentProfile struct {
+	Tag    uint32 `json:"tag"`
+	Trace  bool   `json:"trace"`
+	Thread int    `json:"thread"`
+
+	// StartPC/EndPC bound the application code the fragment was built
+	// from (a trace spans all its constituent blocks).
+	StartPC uint32 `json:"start_pc"`
+	EndPC   uint32 `json:"end_pc"`
+	Size    int    `json:"size"`
+
+	Builds    uint64 `json:"builds"`
+	Evictions uint64 `json:"evictions"`
+	IBLMisses uint64 `json:"ibl_misses"`
+
+	FragCounts
+}
+
+// TopN returns the n hottest profiles by body ticks (ties broken by
+// executions, then tag for determinism), without modifying the input.
+func TopN(profs []FragmentProfile, n int) []FragmentProfile {
+	sorted := append([]FragmentProfile(nil), profs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := &sorted[i], &sorted[j]
+		if a.Ticks != b.Ticks {
+			return a.Ticks > b.Ticks
+		}
+		if a.Execs != b.Execs {
+			return a.Execs > b.Execs
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.Thread < b.Thread
+	})
+	if n > 0 && len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	return sorted
+}
+
+// FormatTop renders a TopN report: the hottest fragments with their
+// application-PC ranges and counters.
+func FormatTop(profs []FragmentProfile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-22s %-5s %3s %12s %12s %10s %10s %6s %5s\n",
+		"thr", "app pc range", "kind", "sz", "execs", "ticks", "stubwalks", "ibl h/m", "builds", "evict")
+	for _, p := range profs {
+		kind := "bb"
+		if p.Trace {
+			kind = "trace"
+		}
+		fmt.Fprintf(&sb, "%-4d %#010x-%#x %-5s %3d %12d %12d %10d %6d/%-5d %4d %5d\n",
+			p.Thread, p.StartPC, p.EndPC, kind, p.Size,
+			p.Execs, p.Ticks, p.StubWalks, p.IBLHits, p.IBLMisses, p.Builds, p.Evictions)
+	}
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EventType names one kind of runtime event in the trace ring.
+type EventType uint8
+
+// The traced runtime events.
+const (
+	EvEmit EventType = iota
+	EvLink
+	EvUnlink
+	EvEvict
+	EvResize
+	EvDetach
+	EvFaultXl8
+	EvSignal
+	numEventTypes
+)
+
+var eventNames = [numEventTypes]string{
+	"emit", "link", "unlink", "evict", "resize", "detach", "fault-xl8", "signal",
+}
+
+func (t EventType) String() string {
+	if t < numEventTypes {
+		return eventNames[t]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the event type as its name.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// Event is one traced runtime event. Seq is a global sequence number (total
+// order across threads), Tick the machine time it was recorded at. The
+// remaining fields are populated per type: Tag/Addr/Kind/Size for fragment
+// events, Old/New for cache resizes, Note for detach causes.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Tick   uint64    `json:"tick"`
+	Thread int       `json:"thread"`
+	Type   EventType `json:"type"`
+
+	Tag    uint32 `json:"tag,omitempty"`
+	Addr   uint32 `json:"addr,omitempty"`
+	Target uint32 `json:"target,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	Size   int    `json:"size,omitempty"`
+	Old    int    `json:"old,omitempty"`
+	New    int    `json:"new,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// Tracer records runtime events into bounded per-thread ring buffers. A
+// size of zero disables it entirely: Record returns before taking any lock,
+// so the always-on hooks in the runtime cost one predictable branch. When
+// enabled it is safe for concurrent use; each thread's ring has its own
+// lock and the sequence counter is atomic, so recording threads do not
+// serialize against each other, and Drain can run concurrently with
+// recording.
+type Tracer struct {
+	size    int
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+
+	mu    sync.Mutex // guards rings (map growth)
+	rings map[int]*eventRing
+}
+
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int // next write slot
+	n    int // valid events (≤ len(buf))
+}
+
+// NewTracer returns a tracer whose per-thread rings hold size events each.
+// Size 0 (or negative) returns a disabled tracer.
+func NewTracer(size int) *Tracer {
+	if size < 0 {
+		size = 0
+	}
+	return &Tracer{size: size, rings: map[int]*eventRing{}}
+}
+
+// Enabled reports whether events are being kept.
+func (tr *Tracer) Enabled() bool { return tr != nil && tr.size > 0 }
+
+// Record appends an event to the thread's ring, stamping the sequence
+// number; the oldest event is overwritten (and counted dropped) when the
+// ring is full. Callers fill Tick, Thread and the per-type fields.
+func (tr *Tracer) Record(ev Event) {
+	if !tr.Enabled() {
+		return
+	}
+	ev.Seq = tr.seq.Add(1)
+	tr.mu.Lock()
+	r := tr.rings[ev.Thread]
+	if r == nil {
+		r = &eventRing{buf: make([]Event, tr.size)}
+		tr.rings[ev.Thread] = r
+	}
+	tr.mu.Unlock()
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		tr.dropped.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// Dropped reports how many events were overwritten before being drained.
+func (tr *Tracer) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.dropped.Load()
+}
+
+// Drain removes and returns all buffered events, ordered by sequence
+// number (the global record order).
+func (tr *Tracer) Drain() []Event {
+	if !tr.Enabled() {
+		return nil
+	}
+	var out []Event
+	tr.mu.Lock()
+	rings := make([]*eventRing, 0, len(tr.rings))
+	for _, r := range tr.rings {
+		rings = append(rings, r)
+	}
+	tr.mu.Unlock()
+	for _, r := range rings {
+		r.mu.Lock()
+		start := r.next - r.n
+		if start < 0 {
+			start += len(r.buf)
+		}
+		for i := 0; i < r.n; i++ {
+			out = append(out, r.buf[(start+i)%len(r.buf)])
+		}
+		r.n, r.next = 0, 0
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONL writes events one JSON object per line. A non-empty label is
+// added to every line as a "bench" field (the drbench artifact convention).
+func WriteJSONL(w io.Writer, label string, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if label == "" {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			continue
+		}
+		line := struct {
+			Bench string `json:"bench"`
+			Event
+		}{Bench: label, Event: ev}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("obs: writing event %d: %w", ev.Seq, err)
+		}
+	}
+	return nil
+}
