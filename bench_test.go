@@ -74,7 +74,9 @@ func BenchmarkFigure5(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", w.Name, c), func(b *testing.B) {
 				var norm float64
 				for n := 0; n < b.N; n++ {
-					norm = harness.RunConfig(w, core.Default(), harness.ClientsFor(c)...).Normalized
+					// The paper-era base system (see harness.Figure5Options):
+					// Figure 5 measures the client optimizations against it.
+					norm = harness.RunConfig(w, harness.Figure5Options(), harness.ClientsFor(c)...).Normalized
 				}
 				b.ReportMetric(norm, "normalized-time")
 			})
@@ -101,13 +103,16 @@ func BenchmarkAblationTraceThreshold(b *testing.B) {
 }
 
 // BenchmarkAblationIBLTable sweeps the indirect-branch lookup hashtable
-// size: smaller tables suffer more collision misses (full context switches).
+// size: smaller tables suffer more collision misses (full context
+// switches). The legacy direct-mapped table is pinned so the sweep shows
+// the conflict-miss curve; the adaptive open-address replacement (which
+// flattens it) is measured by drbench -iblsweep.
 func BenchmarkAblationIBLTable(b *testing.B) {
 	w := workload.ByName("eon")
 	for _, bits := range []uint{2, 4, 8, 10} {
 		bits := bits
 		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
-			opts := core.Default()
+			opts := harness.Figure5Options()
 			opts.IBLTableBits = bits
 			var res *harness.ConfigResult
 			for n := 0; n < b.N; n++ {

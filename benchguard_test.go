@@ -1,0 +1,66 @@
+// The benchmark-regression guard. CI runs these env-gated tests against the
+// checked-in BENCH_baseline.json and fails on a >5% regression of either
+// guarded series:
+//
+//   - BenchmarkFigure5's normalized overhead (simulated, fully
+//     deterministic) over the -short benchmark subset, per configuration;
+//   - BenchmarkInterpreterHotLoop's throughput (internal/machine's guard
+//     test), machine-normalized against a calibration kernel.
+//
+// Regenerate the baseline after an intentional performance change with
+//
+//	BENCH_GUARD_WRITE=1 go test -run RegressionGuard -count=1 . ./internal/machine/
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/harness"
+)
+
+// guardFigure5Benches is BenchmarkFigure5's -short subset: one workload per
+// class regime (FP, indirect-heavy INT, large-footprint INT).
+var guardFigure5Benches = []string{"mgrid", "crafty", "gcc"}
+
+// TestFigure5RegressionGuard fails when any Figure 5 configuration's
+// geomean normalized overhead over the guard subset exceeds the checked-in
+// baseline by more than 5%. The metric is simulated, so any drift at all is
+// a real change in emitted-code quality or runtime behaviour; the 5% band
+// only keeps deliberate small trade-offs from needing a baseline dance.
+func TestFigure5RegressionGuard(t *testing.T) {
+	guard.Gate(t)
+	rows, err := harness.Figure5Parallel(0, guardFigure5Benches...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := map[string]float64{}
+	for c := harness.ConfigBase; c < harness.NumOptConfigs; c++ {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Normalized[c])
+		}
+		measured[c.String()] = harness.GeoMean(xs)
+	}
+
+	base := guard.Load(t, "BENCH_baseline.json")
+	if guard.WriteMode() {
+		base.Figure5Geomean = measured
+		guard.Save(t, "BENCH_baseline.json", base)
+		return
+	}
+	if len(base.Figure5Geomean) == 0 {
+		t.Fatal("baseline has no figure5 series; regenerate with BENCH_GUARD_WRITE=1")
+	}
+	for cfg, want := range base.Figure5Geomean {
+		got, ok := measured[cfg]
+		if !ok {
+			t.Errorf("baseline config %q no longer measured", cfg)
+			continue
+		}
+		if got > want*1.05 {
+			t.Errorf("figure5/%s: normalized overhead %.4f regressed >5%% over baseline %.4f", cfg, got, want)
+		}
+		t.Logf("figure5/%s: %.4f (baseline %.4f)", cfg, got, want)
+	}
+}

@@ -8,8 +8,11 @@
 //	drbench -figure5 -parallel 0 # fan the benchmark x config matrix across all CPUs
 //	drbench -figure5 -json BENCH_figure5.json
 //	drbench -figure5 -cache-bb 65536 -cache-trace 65536   # bounded caches
+//	drbench -figure5 -ibl-adaptive -ibl-bits 6            # run Figure 5 on the adaptive open-address IBL
 //	drbench -cachesweep          # cache budget ladder: 22 benchmarks x 6 budgets
 //	drbench -cachesweep -json BENCH_cachesweep.json
+//	drbench -iblsweep            # indirect-branch lookup ladder: 22 benchmarks x 6 IBL configs
+//	drbench -iblsweep -json BENCH_iblsweep.json
 //	drbench -faultstorm          # fault-injection differential: 22 benchmarks x seeds x configs
 //	drbench -faultstorm -seeds 101,202,303 -json BENCH_faultstorm.json
 //	drbench -profile             # where-the-cycles-go: phase accounting + hottest fragments
@@ -41,6 +44,7 @@ func main() {
 		table2     = flag.Bool("table2", false, "reproduce Table 2")
 		figure5    = flag.Bool("figure5", false, "reproduce Figure 5")
 		cachesweep = flag.Bool("cachesweep", false, "run the cache-budget sweep (benchmarks x budget ladder)")
+		iblsweep   = flag.Bool("iblsweep", false, "run the indirect-branch lookup sweep (benchmarks x IBL configuration ladder)")
 		faultstorm = flag.Bool("faultstorm", false, "run the fault-injection differential (benchmarks x seeded schedules x cache configs)")
 		seedsFlag  = flag.String("seeds", "101,202,303", "comma-separated schedule seeds for -faultstorm")
 		all        = flag.Bool("all", false, "reproduce everything")
@@ -51,13 +55,16 @@ func main() {
 		cacheBB    = flag.Int("cache-bb", 0, "per-thread basic-block cache budget in bytes for -figure5 (0 = unbounded)")
 		cacheTrace = flag.Int("cache-trace", 0, "per-thread trace cache budget in bytes for -figure5 (0 = unbounded)")
 		adaptive   = flag.Bool("adaptive", false, "enable adaptive cache resizing for -figure5 (needs a bounded cache)")
+		iblBits    = flag.Uint("ibl-bits", 0, "initial IBL hashtable size as log2 entries for -figure5 (0 = runtime default)")
+		iblAdapt   = flag.Bool("ibl-adaptive", false, "run -figure5 on the adaptive open-address IBL hashtable instead of the paper's fixed direct-mapped table")
+		noElide    = flag.Bool("no-flags-elision", false, "disable eflags-liveness flag-save elision for -figure5 (meaningful with -ibl-adaptive)")
 		profile    = flag.Bool("profile", false, "run the where-the-cycles-go experiment: per-phase tick accounting + per-fragment profiles")
 		topN       = flag.Int("top", 10, "hottest fragments kept per benchmark for -profile")
 		ring       = flag.Int("ring", 0, "per-thread event-trace ring size for -profile (0 = tracing off)")
 		traceOut   = flag.String("trace-out", "", "write the drained -profile event trace as JSONL to this path (implies -ring 4096 unless set)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*faultstorm && !*profile && !*all && !*verify {
+	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*iblsweep && !*faultstorm && !*profile && !*all && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,10 +94,21 @@ func main() {
 
 	figure5JSONWritten := false
 	if *figure5 || *all {
-		opts := core.Default()
+		// Figure 5 measures the paper's base system (fixed direct-mapped
+		// IBL, no flag-save elision); the -ibl-* flags rerun it on the new
+		// indirect-branch fast path.
+		opts := harness.Figure5Options()
 		opts.BBCacheSize = *cacheBB
 		opts.TraceCacheSize = *cacheTrace
 		opts.AdaptiveCache = *adaptive
+		if *iblBits != 0 {
+			opts.IBLTableBits = *iblBits
+		}
+		if *iblAdapt {
+			opts.IBLDirectMapped = false
+			opts.IBLAdaptive = true
+			opts.FlagsElision = !*noElide
+		}
 		start := time.Now()
 		rows, err := harness.RunMatrix(*parallel, benches, opts)
 		elapsed := time.Since(start)
@@ -136,6 +154,32 @@ func main() {
 		}
 	}
 
+	iblsweepJSONWritten := false
+	if *iblsweep || *all {
+		points := harness.DefaultIBLSweep()
+		start := time.Now()
+		rows, err := harness.IBLSweep(*parallel, benches, points)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		requireResults("iblsweep", len(rows))
+		fmt.Print(harness.FormatIBLSweep(points, rows))
+		if *jsonPath != "" {
+			path := *jsonPath
+			if figure5JSONWritten || cachesweepJSONWritten {
+				path += ".iblsweep.json" // several matrices requested: keep all files
+			}
+			if err := writeIBLSweepJSON(path, points, rows, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			iblsweepJSONWritten = true
+			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
+		}
+	}
+
 	if *faultstorm || *all {
 		seeds, err := parseSeeds(*seedsFlag)
 		if err != nil {
@@ -160,7 +204,7 @@ func main() {
 		}
 		if *jsonPath != "" {
 			path := *jsonPath
-			if figure5JSONWritten || cachesweepJSONWritten {
+			if figure5JSONWritten || cachesweepJSONWritten || iblsweepJSONWritten {
 				path += ".faultstorm.json" // several matrices requested: keep all files
 			}
 			if err := writeStormJSON(path, seeds, rows, *parallel, elapsed); err != nil {
@@ -190,7 +234,7 @@ func main() {
 		fmt.Print(harness.FormatProfile(rows))
 		if *jsonPath != "" {
 			path := *jsonPath
-			if figure5JSONWritten || cachesweepJSONWritten {
+			if figure5JSONWritten || cachesweepJSONWritten || iblsweepJSONWritten {
 				path += ".profile.json" // several matrices requested: keep all files
 			}
 			if err := writeProfileJSON(path, rows, *parallel, elapsed); err != nil {
@@ -358,6 +402,78 @@ func writeSweepJSON(path string, points []harness.CachePoint, rows []harness.Cac
 			row.CacheResizes = append(row.CacheResizes, c.Stats.CacheResizes)
 			row.BBLiveBytes = append(row.BBLiveBytes, c.Stats.BBCacheLiveBytes)
 			row.TrLiveBytes = append(row.TrLiveBytes, c.Stats.TraceCacheLiveBytes)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// iblSweepJSON is the file layout of -iblsweep -json: per (benchmark, IBL
+// configuration) the Figure-5-style normalized overhead plus the dispatcher
+// context switches an IBL hit avoids and the hashtable behaviour counters
+// (misses, probe chains, growth, displacement, elisions) that explain it.
+type iblSweepJSON struct {
+	Schema           string            `json:"schema"`
+	Workers          int               `json:"workers"`
+	WallClockSeconds float64           `json:"wall_clock_seconds"`
+	Points           []iblPointJSON    `json:"points"`
+	Rows             []iblSweepRowJSON `json:"rows"`
+	Means            []float64         `json:"means"`
+}
+
+type iblPointJSON struct {
+	Name         string `json:"name"`
+	Bits         uint   `json:"bits"`
+	DirectMapped bool   `json:"direct_mapped"`
+	Adaptive     bool   `json:"adaptive"`
+	FlagsElision bool   `json:"flags_elision"`
+}
+
+type iblSweepRowJSON struct {
+	Benchmark          string    `json:"benchmark"`
+	Class              string    `json:"class"`
+	Normalized         []float64 `json:"normalized"`
+	Cycles             []uint64  `json:"cycles"`
+	ContextSwitches    []uint64  `json:"context_switches"`
+	IBLMisses          []uint64  `json:"ibl_misses"`
+	IBLCollisions      []uint64  `json:"ibl_collisions"`
+	IBLMaxProbe        []uint64  `json:"ibl_max_probe"`
+	IBLResizes         []uint64  `json:"ibl_resizes"`
+	IBLReplaced        []uint64  `json:"ibl_replaced"`
+	FlagsElisions      []uint64  `json:"flags_elisions"`
+	InlineChecksElided []uint64  `json:"inline_checks_elided"`
+}
+
+func writeIBLSweepJSON(path string, points []harness.IBLPoint, rows []harness.IBLSweepRow, workers int, elapsed time.Duration) error {
+	out := iblSweepJSON{
+		Schema:           "drbench/iblsweep/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+		Means:            harness.IBLSweepMeans(points, rows),
+	}
+	for _, p := range points {
+		out.Points = append(out.Points, iblPointJSON{
+			Name: p.Name, Bits: p.Bits, DirectMapped: p.DirectMapped,
+			Adaptive: p.Adaptive, FlagsElision: p.FlagsElision,
+		})
+	}
+	for _, r := range rows {
+		row := iblSweepRowJSON{Benchmark: r.Benchmark, Class: r.Class.String()}
+		for _, c := range r.Cells {
+			row.Normalized = append(row.Normalized, c.Normalized)
+			row.Cycles = append(row.Cycles, c.Ticks.Cycles())
+			row.ContextSwitches = append(row.ContextSwitches, c.Stats.ContextSwitches)
+			row.IBLMisses = append(row.IBLMisses, c.Stats.IBLMisses)
+			row.IBLCollisions = append(row.IBLCollisions, c.Stats.IBLCollisions)
+			row.IBLMaxProbe = append(row.IBLMaxProbe, c.Stats.IBLMaxProbe)
+			row.IBLResizes = append(row.IBLResizes, c.Stats.IBLResizes)
+			row.IBLReplaced = append(row.IBLReplaced, c.Stats.IBLReplaced)
+			row.FlagsElisions = append(row.FlagsElisions, c.Stats.FlagsElisions)
+			row.InlineChecksElided = append(row.InlineChecksElided, c.Stats.InlineChecksElided)
 		}
 		out.Rows = append(out.Rows, row)
 	}

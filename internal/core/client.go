@@ -73,6 +73,14 @@ type CacheResizedHook interface {
 	CacheResized(ctx *Context, kind FragmentKind, oldBytes, newBytes int)
 }
 
+// IBLResizedHook is called when the adaptive indirect-branch lookup
+// hashtable doubles: live entries exceeded half the capacity, so the table
+// grew, every entry was rehashed and the lookup routines were re-emitted
+// with the new mask. Entry counts, not bytes — the table is slots.
+type IBLResizedHook interface {
+	IBLResized(ctx *Context, oldEntries, newEntries int)
+}
+
 // ThreadDetachHook is called when a thread detaches from the runtime after
 // an unrecoverable internal failure: its native context has been restored
 // and it will finish execution under plain interpretation. tag is the

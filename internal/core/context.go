@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ia32"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Simulated-memory layout of the runtime's own state. Each thread owns a
@@ -33,6 +34,17 @@ const (
 	offIBLTable  = 0x1000  // hashtable: entries of [tag u32, dest u32]
 	offIBLCode   = 0x8000  // the lookup routines
 	offLocalHeap = 0x10000 // thread-private client allocations
+
+	// maxIBLTableBits bounds adaptive hashtable growth: 2^11 entries at 8
+	// bytes each is 16 KiB, comfortably inside the [offIBLTable,
+	// offIBLCode) reservation.
+	maxIBLTableBits = 11
+
+	// iblRoutineStride is the fixed spacing of the per-branch-type lookup
+	// routines in the TLS code area. Re-emitting the routines after a
+	// table resize rewrites them in place at the same addresses, so exits
+	// linked to a routine never need re-patching.
+	iblRoutineStride = 128
 )
 
 // iblEmptySlot marks an unoccupied IBL hashtable slot. It must be a value no
@@ -100,7 +112,22 @@ type Context struct {
 
 	iblEntry  [numBranchTypes]machine.Addr
 	tableBase machine.Addr
+	tableBits uint
 	tableMask uint32
+
+	// tableLive counts occupied hashtable slots (open addressing only):
+	// the load-factor input to adaptive growth and the ceiling guard that
+	// keeps probe chains finite in fixed-size tables.
+	tableLive uint32
+
+	// pendingIBLResized defers IBL-resize client events to the next
+	// dispatcher safe point, like the cache-resize events.
+	pendingIBLResized []iblResizedEvent
+
+	// inlineRestores records each trace inline check's popfd/ECX-restore
+	// pair during trace construction, so the flags-elision pass can rewrite
+	// surviving hit paths after the client trace hooks have run.
+	inlineRestores []inlineRestore
 
 	// Trace-head bookkeeping.
 	headCounter map[machine.Addr]int
@@ -351,29 +378,216 @@ func (c *Context) register(f *Fragment) {
 	c.tableInsert(f.Tag, f.Entry)
 }
 
+// iblResizedEvent is a deferred IBL-resize client notification.
+type iblResizedEvent struct {
+	oldEntries int
+	newEntries int
+}
+
+// iblSlot returns the simulated address of hashtable slot i.
+func (c *Context) iblSlot(i uint32) machine.Addr {
+	return c.tableBase + machine.Addr(i)*8
+}
+
 // tableInsert writes a tag→cache-entry mapping into the indirect-branch
-// lookup hashtable in simulated memory.
+// lookup hashtable in simulated memory. The default organization is
+// linear-probing open addressing, matching the probe walk the emitted lookup
+// routines perform; IBLDirectMapped (and SharedCache) keep the legacy
+// single-slot direct-mapped table.
 func (c *Context) tableInsert(tag, dest machine.Addr) {
 	if !c.rio.Opts.LinkIndirect {
 		return
 	}
-	slot := c.tableBase + machine.Addr(tag&c.tableMask)*8
 	mem := c.rio.M.Mem
-	mem.Write32(slot, tag)
-	mem.Write32(slot+4, dest)
+	if !c.rio.usesIBLPrefix() {
+		// Legacy direct-mapped: one slot per hash, last writer wins — a
+		// collided prior entry misses to the dispatcher until re-inserted.
+		slot := c.iblSlot(tag & c.tableMask)
+		if cur := mem.Read32(slot); cur != iblEmptySlot && cur != tag {
+			statInc(&c.rio.Stats.IBLCollisions)
+		}
+		mem.Write32(slot, tag)
+		mem.Write32(slot+4, dest)
+		return
+	}
+	for {
+		if c.tryTableInsert(tag, dest) {
+			return
+		}
+		// The table is at its load ceiling and cannot grow: evict the
+		// entry nearest tag's home slot to bound the probe chains, then
+		// retry (the backward-shift may have rearranged the chain).
+		c.iblMakeRoom(tag)
+	}
 }
 
-// tableRemove clears the hashtable slot if it maps the given tag.
+// tryTableInsert probes for tag and installs the mapping; false means a new
+// entry was needed but the table is at its load ceiling (the caller must
+// make room first).
+func (c *Context) tryTableInsert(tag, dest machine.Addr) bool {
+	mem := c.rio.M.Mem
+	mask := c.tableMask
+	capacity := mask + 1
+	idx := tag & mask
+	for probes := uint32(0); probes < capacity; probes++ {
+		slot := c.iblSlot(idx)
+		switch cur := mem.Read32(slot); cur {
+		case tag:
+			mem.Write32(slot+4, dest)
+			return true
+		case iblEmptySlot:
+			// Cap the load factor at 3/4 when growth is unavailable:
+			// open addressing needs empty slots to terminate both the
+			// emitted probe walk and the Go-side probes.
+			if c.tableLive >= capacity-capacity/4 && !c.canGrowIBL() {
+				return false
+			}
+			mem.Write32(slot, tag)
+			mem.Write32(slot+4, dest)
+			c.tableLive++
+			if probes > 0 {
+				statInc(&c.rio.Stats.IBLCollisions)
+				statMax(&c.rio.Stats.IBLMaxProbe, uint64(probes))
+			}
+			if 2*c.tableLive > capacity && c.canGrowIBL() {
+				c.growIBLTable()
+			}
+			return true
+		}
+		idx = (idx + 1) & mask
+	}
+	return false
+}
+
+// iblMakeRoom evicts the occupied slot nearest tag's home position. The
+// displaced target simply loses its fast path (its next indirect arrival
+// context-switches and re-inserts) — the bounded-capacity analogue of the
+// old direct-mapped clobber, but only under genuine occupancy pressure, not
+// on any hash collision.
+func (c *Context) iblMakeRoom(tag machine.Addr) {
+	mem := c.rio.M.Mem
+	idx := tag & c.tableMask
+	for i := uint32(0); i <= c.tableMask; i++ {
+		if cur := mem.Read32(c.iblSlot(idx)); cur != iblEmptySlot {
+			c.tableRemove(cur)
+			statInc(&c.rio.Stats.IBLReplaced)
+			return
+		}
+		idx = (idx + 1) & c.tableMask
+	}
+}
+
+// canGrowIBL reports whether the hashtable may double once more.
+func (c *Context) canGrowIBL() bool {
+	return c.rio.Opts.IBLAdaptive && c.tableBits < maxIBLTableBits
+}
+
+// growIBLTable doubles the hashtable (Kistler & Franz's perpetual-adaptation
+// argument: runtime data structures should track the profile as it grows):
+// every live entry is rehashed under the new mask and the lookup routines
+// are re-emitted in place — their fixed stride keeps the routine entry
+// addresses stable, so no linked exit needs re-patching. The modeled cost
+// and a client event mirror the bounded-cache resize protocol.
+func (c *Context) growIBLTable() {
+	r := c.rio
+	mem := r.M.Mem
+	oldCap := c.tableMask + 1
+	type iblEntry struct{ tag, dest uint32 }
+	entries := make([]iblEntry, 0, c.tableLive)
+	for i := uint32(0); i < oldCap; i++ {
+		slot := c.iblSlot(i)
+		if tag := mem.Read32(slot); tag != iblEmptySlot {
+			entries = append(entries, iblEntry{tag, mem.Read32(slot + 4)})
+		}
+	}
+	c.tableBits++
+	c.tableMask = 1<<c.tableBits - 1
+	c.clearIBLTable()
+	for _, e := range entries {
+		// Cannot recurse: the load factor just halved.
+		if !c.tryTableInsert(e.tag, e.dest) {
+			panic("core: IBL rehash overflow")
+		}
+	}
+	r.writeIBLRoutines(c)
+	r.M.Charge(r.Opts.Cost.IBLResize)
+	statInc(&r.Stats.IBLResizes)
+	r.event(c.thread.ID, obs.Event{
+		Type: obs.EvIBLResize, Old: int(oldCap), New: int(c.tableMask + 1),
+	})
+	c.pendingIBLResized = append(c.pendingIBLResized,
+		iblResizedEvent{oldEntries: int(oldCap), newEntries: int(c.tableMask + 1)})
+}
+
+// clearIBLTable marks every slot of the current table span empty.
+func (c *Context) clearIBLTable() {
+	mem := c.rio.M.Mem
+	for i := uint32(0); i <= c.tableMask; i++ {
+		slot := c.iblSlot(i)
+		mem.Write32(slot, iblEmptySlot)
+		mem.Write32(slot+4, 0)
+	}
+	c.tableLive = 0
+}
+
+// tableRemove deletes tag's hashtable entry. Open addressing uses
+// backward-shift deletion: entries after the hole that belong earlier in
+// their probe chain slide back, so no tombstones are needed and the emitted
+// probe walk stays valid. The work is proportional to the victim's probe
+// chain, not the table size — eviction and flush scrub only the slots
+// reachable from the evicted tags' chains.
 func (c *Context) tableRemove(tag machine.Addr) {
 	if !c.rio.Opts.LinkIndirect {
 		return
 	}
-	slot := c.tableBase + machine.Addr(tag&c.tableMask)*8
 	mem := c.rio.M.Mem
-	if mem.Read32(slot) == tag {
-		mem.Write32(slot, iblEmptySlot)
-		mem.Write32(slot+4, 0)
+	mask := c.tableMask
+	if !c.rio.usesIBLPrefix() {
+		slot := c.iblSlot(tag & mask)
+		if mem.Read32(slot) == tag {
+			mem.Write32(slot, iblEmptySlot)
+			mem.Write32(slot+4, 0)
+		}
+		return
 	}
+	// Find tag within its probe chain.
+	idx := tag & mask
+	found := false
+	for i := uint32(0); i <= mask; i++ {
+		switch cur := mem.Read32(c.iblSlot(idx)); cur {
+		case iblEmptySlot:
+			return // chain ended: tag is not in the table
+		case tag:
+			found = true
+		}
+		if found {
+			break
+		}
+		idx = (idx + 1) & mask
+	}
+	if !found {
+		return
+	}
+	// Backward-shift: walk the cluster after the hole, moving down any
+	// entry whose home position means the hole does not break its chain.
+	hole := idx
+	j := (hole + 1) & mask
+	for i := uint32(0); i <= mask; i++ {
+		cur := mem.Read32(c.iblSlot(j))
+		if cur == iblEmptySlot {
+			break
+		}
+		home := cur & mask
+		if (j-home)&mask >= (j-hole)&mask {
+			mem.Write32(c.iblSlot(hole), cur)
+			mem.Write32(c.iblSlot(hole)+4, mem.Read32(c.iblSlot(j)+4))
+			hole = j
+		}
+		j = (j + 1) & mask
+	}
+	mem.Write32(c.iblSlot(hole), iblEmptySlot)
+	mem.Write32(c.iblSlot(hole)+4, 0)
+	c.tableLive--
 }
 
 // allocCache reserves n bytes in the basic-block or trace cache. A bounded

@@ -208,7 +208,7 @@ func (r *RIO) enter(ctx *Context, f *Fragment) (machine.TrapAction, error) {
 		// observed by the machine as code-region transitions.
 		r.M.FragEntered(f.prof.fid)
 	}
-	ctx.thread.CPU.EIP = f.Entry
+	ctx.thread.CPU.EIP = f.body()
 	ctx.lastExit = nil
 	return machine.TrapContinue, nil
 }
@@ -253,6 +253,17 @@ func (r *RIO) deliverDeleted(ctx *Context) {
 			for _, cl := range r.Clients {
 				if h, ok := cl.(CacheResizedHook); ok {
 					h.CacheResized(ctx, e.kind, e.oldBytes, e.newBytes)
+				}
+			}
+		}
+	}
+	if len(ctx.pendingIBLResized) > 0 {
+		rs := ctx.pendingIBLResized
+		ctx.pendingIBLResized = nil
+		for _, e := range rs {
+			for _, cl := range r.Clients {
+				if h, ok := cl.(IBLResizedHook); ok {
+					h.IBLResized(ctx, e.oldEntries, e.newEntries)
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -83,8 +84,28 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 		panic(fmt.Sprintf("core: sizing fragment %#x: %v", tag, err))
 	}
 
-	// Assign stub offsets after the body.
-	off := bodyLen
+	// Build the IBL target prefix: the open-address lookup routine's hit
+	// path jumps here with the application eflags still pushed and ECX
+	// still spilled. A head that provably rewrites all six arithmetic
+	// flags gets the elided form — a flag-neutral lea discards the pushed
+	// eflags word instead of a popfd (the paper's Section 4.4).
+	var iblPrefix *instr.List
+	prefixLen := 0
+	if r.usesIBLPrefix() {
+		elide := r.Opts.FlagsElision && flagsDeadFrom(list.First(), nil)
+		iblPrefix = buildIBLPrefix(ctx, tag, elide)
+		n, err := iblPrefix.EncodedLen()
+		if err != nil {
+			panic(fmt.Sprintf("core: sizing IBL prefix: %v", err))
+		}
+		prefixLen = n
+		if elide {
+			statInc(&r.Stats.FlagsElisions)
+		}
+	}
+
+	// Assign stub offsets after the prefix and body.
+	off := prefixLen + bodyLen
 	for _, ei := range exits {
 		ei.stubOff = off
 		if ei.prefix != nil {
@@ -101,13 +122,14 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 	base := ctx.allocCache(kind, total)
 
 	f := &Fragment{
-		Tag:     tag,
-		Kind:    kind,
-		Entry:   base,
-		Size:    total,
-		BodyLen: bodyLen,
-		inLinks: map[*Exit]struct{}{},
-		ctx:     ctx,
+		Tag:       tag,
+		Kind:      kind,
+		Entry:     base,
+		Size:      total,
+		BodyLen:   bodyLen,
+		PrefixLen: prefixLen,
+		inLinks:   map[*Exit]struct{}{},
+		ctx:       ctx,
 	}
 
 	// Wire each exit CTI's initial target and build Exit records.
@@ -148,15 +170,37 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 		ei.cti.SetTarget(ctiTarget)
 	}
 
-	// Encode the body.
-	body, offs, err := list.EncodeWithOffsets(base)
+	// Encode the IBL prefix at the fragment base.
+	var prefixXl8 []xl8Entry
+	if iblPrefix != nil {
+		pb, poffs, err := iblPrefix.EncodeWithOffsets(base)
+		if err != nil {
+			panic(fmt.Sprintf("core: encoding IBL prefix: %v", err))
+		}
+		if len(pb) != prefixLen {
+			panic("core: IBL prefix size changed between sizing and encoding")
+		}
+		r.M.Mem.WriteBytes(base, pb)
+		// A fault inside the prefix reports the branch-target tag with the
+		// scratch state each prefix instruction annotated (eflags pushed
+		// until the popfd/lea runs, ECX spilled until the final mov).
+		iblPrefix.Instrs(func(i *instr.Instr) bool {
+			pc, scr := i.Xl8()
+			prefixXl8 = append(prefixXl8,
+				xl8Entry{off: poffs[i], app: machine.Addr(pc), scratch: scr})
+			return true
+		})
+	}
+
+	// Encode the body after the prefix.
+	body, offs, err := list.EncodeWithOffsets(base + machine.Addr(prefixLen))
 	if err != nil {
 		panic(fmt.Sprintf("core: encoding fragment %#x: %v", tag, err))
 	}
 	if len(body) != bodyLen {
 		panic("core: body size changed between sizing and encoding")
 	}
-	r.M.Mem.WriteBytes(base, body)
+	r.M.Mem.WriteBytes(base+machine.Addr(prefixLen), body)
 
 	// Locate each exit CTI for future patching.
 	for n, ei := range exits {
@@ -165,11 +209,11 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 		if !ok {
 			panic("core: exit CTI not in layout")
 		}
-		e.ctiAddr = base + ctiOff
+		e.ctiAddr = base + machine.Addr(prefixLen) + ctiOff
 		e.ctiLen = ei.cti.Len()
 	}
 
-	f.xl8 = buildXl8(list, offs, exits, f)
+	f.xl8 = append(prefixXl8, buildXl8(list, offs, exits, f, prefixLen)...)
 
 	// Emit the stubs.
 	for n, ei := range exits {
@@ -224,13 +268,14 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 // The stub tail spills EAX in its first instruction, so the rest of the
 // tail adds Xl8RestoreEAX, and a flags-restoring prefix keeps the
 // Xl8FlagsPushed bit until its popfd has run.
-func buildXl8(list *instr.List, offs map[*instr.Instr]uint32, exits []*exitInfo, f *Fragment) []xl8Entry {
+func buildXl8(list *instr.List, offs map[*instr.Instr]uint32, exits []*exitInfo, f *Fragment, prefixLen int) []xl8Entry {
 	var table []xl8Entry
 	list.Instrs(func(i *instr.Instr) bool {
 		off, ok := offs[i]
 		if !ok {
 			return true
 		}
+		off += uint32(prefixLen) // offsets are fragment-relative; body follows the prefix
 		switch {
 		case i.IsBundle():
 			table = append(table, xl8Entry{off: off, app: i.PC(), ident: true})
@@ -267,6 +312,32 @@ func buildXl8(list *instr.List, offs map[*instr.Instr]uint32, exits []*exitInfo,
 		table = append(table, xl8Entry{off: off + 5, app: app, scratch: scr | instr.Xl8RestoreEAX})
 	}
 	return table
+}
+
+// buildIBLPrefix returns the IBL target prefix for a fragment with tag:
+// the code the open-address lookup routine's hit path jumps to, completing
+// the restore the routine left unfinished (eflags pushed, ECX spilled).
+//
+//	popfd | lea esp, [esp+4]   ; restore or discard the pushed eflags
+//	mov   ecx, [spillECX]      ; restore the application ECX
+//	<body>
+//
+// The elided form uses lea — which reads and writes no flags — because the
+// fragment head has been proven to rewrite all six arithmetic flags before
+// reading any (flagsDeadFrom), so the application values are dead.
+func buildIBLPrefix(ctx *Context, tag machine.Addr, elide bool) *instr.List {
+	esp := ia32.RegOp(ia32.ESP)
+	l := instr.NewList()
+	if elide {
+		l.Append(instr.CreateLea(esp, ia32.MemOp(ia32.ESP, ia32.RegNone, 0, 4, 4)).
+			SetXl8(uint32(tag), instr.Xl8RestoreECX|instr.Xl8FlagsPushed))
+	} else {
+		l.Append(instr.CreatePopfd().
+			SetXl8(uint32(tag), instr.Xl8RestoreECX|instr.Xl8FlagsPushed))
+	}
+	l.Append(instr.CreateMov(ia32.RegOp(ia32.ECX), ctx.spillOp(offSpillECX)).
+		SetXl8(uint32(tag), instr.Xl8RestoreECX))
+	return l
 }
 
 // writeTailUnlinked writes the spill/identify/trap tail of e's stub.
@@ -329,9 +400,9 @@ func (r *RIO) link(e *Exit, f *Fragment) {
 		r.unlink(e)
 	}
 	if e.viaStub {
-		r.writeTailJmp(e, f.Entry)
+		r.writeTailJmp(e, f.body())
 	} else {
-		r.patchCTI(e, f.Entry)
+		r.patchCTI(e, f.body())
 	}
 	e.state = stateLinkedFrag
 	e.linkedTo = f
@@ -432,9 +503,9 @@ func (r *RIO) redirectInLinks(old, nu *Fragment) {
 		e.linkedTo = nil
 		e.state = stateUnlinked // bookkeeping only; bytes patched next
 		if e.viaStub {
-			r.writeTailJmp(e, nu.Entry)
+			r.writeTailJmp(e, nu.body())
 		} else {
-			r.patchCTI(e, nu.Entry)
+			r.patchCTI(e, nu.body())
 		}
 		e.state = stateLinkedFrag
 		e.linkedTo = nu

@@ -345,7 +345,14 @@ func (c *Context) CacheUsage(kind FragmentKind) (liveBytes, capacity int) {
 //   - no live fragment's outgoing link targets a dead fragment, and every
 //     link is mirrored by the target's incoming-link record;
 //   - no IBL hashtable entry maps a tag to an address that is not the entry
-//     of a live fragment for that tag.
+//     of a live fragment for that tag (production scrubbing is chain-local —
+//     eviction touches only the victim's probe chain — so this full-table
+//     scan is the independent oracle that no stale slot survives);
+//   - under the open-address organization, every occupied slot is reachable
+//     from its tag's home slot through an unbroken probe chain (backward-
+//     shift deletion must never strand an entry behind an empty slot), and
+//     the occupied-slot count matches the live-entry counter that drives
+//     load-factor growth.
 //
 // It is the oracle behind the eviction property tests and is cheap enough to
 // run after every dispatch in them.
@@ -416,16 +423,19 @@ func (c *Context) CheckCacheInvariants() error {
 
 	if c.rio.Opts.LinkIndirect {
 		mem := c.rio.M.Mem
-		for i := machine.Addr(0); i <= machine.Addr(c.tableMask); i++ {
-			slot := c.tableBase + i*8
+		open := c.rio.usesIBLPrefix()
+		occupied := uint32(0)
+		for i := uint32(0); i <= c.tableMask; i++ {
+			slot := c.iblSlot(i)
 			tag := mem.Read32(slot)
 			if tag == iblEmptySlot {
 				continue
 			}
+			occupied++
 			dest := mem.Read32(slot + 4)
 			ok := false
-			for cur := c.frags[tag]; cur != nil; cur = cur.shadowedBy {
-				if !cur.dead && cur.Entry == dest {
+			for cur := c.frags[machine.Addr(tag)]; cur != nil; cur = cur.shadowedBy {
+				if !cur.dead && cur.Entry == machine.Addr(dest) {
 					ok = true
 					break
 				}
@@ -433,6 +443,20 @@ func (c *Context) CheckCacheInvariants() error {
 			if !ok {
 				return fmt.Errorf("IBL slot %d maps tag %#x to %#x with no live fragment there", i, tag, dest)
 			}
+			if open {
+				// The emitted lookup probes home..i linearly and stops at
+				// the first empty slot: every slot on the way must be
+				// occupied or this entry is unreachable in-cache.
+				for j := tag & c.tableMask; j != i; j = (j + 1) & c.tableMask {
+					if mem.Read32(c.iblSlot(j)) == iblEmptySlot {
+						return fmt.Errorf("IBL slot %d (tag %#x, home %d) unreachable: empty slot %d breaks the probe chain",
+							i, tag, tag&c.tableMask, j)
+					}
+				}
+			}
+		}
+		if open && occupied != c.tableLive {
+			return fmt.Errorf("IBL live-entry accounting: %d occupied slots, %d tracked", occupied, c.tableLive)
 		}
 	}
 	return nil

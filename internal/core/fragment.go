@@ -133,6 +133,14 @@ type Fragment struct {
 	// exit stubs), needed to re-decode the fragment from the cache.
 	BodyLen int
 
+	// PrefixLen is the length of the IBL target prefix preceding the body
+	// (0 when the open-address lookup is not in use). Entry is the prefix
+	// start — only the lookup routine's hit path (via the hashtable) jumps
+	// there; direct links and dispatcher entries use body(). The prefix
+	// finishes the lookup's register/eflags restore, which lets a fragment
+	// whose head rewrites all six arithmetic flags elide its popfd.
+	PrefixLen int
+
 	Exits []*Exit
 
 	// inLinks are exits of other fragments currently linked to this one.
@@ -201,8 +209,14 @@ func (f *Fragment) translate(pc machine.Addr) (app machine.Addr, scratch uint8, 
 	return e.app, e.scratch, true
 }
 
+// body returns the fragment body's cache address: where direct links and
+// dispatcher entries land, skipping the IBL target prefix.
+func (f *Fragment) body() machine.Addr {
+	return f.Entry + machine.Addr(f.PrefixLen)
+}
+
 // contains reports whether a cache PC lies within f's emitted bytes
-// (body plus stubs).
+// (prefix, body and stubs).
 func (f *Fragment) contains(pc machine.Addr) bool {
 	return pc >= f.Entry && pc < f.Entry+machine.Addr(f.Size)
 }

@@ -59,8 +59,30 @@ type Options struct {
 
 	// IBLTableBits is the log2 size of the indirect-branch lookup
 	// hashtable (default 8: 256 entries, hashing the low bits of the
-	// target address).
+	// target address). Clamped to 11 (2048 entries), the TLS reservation
+	// for the table.
 	IBLTableBits uint
+
+	// IBLAdaptive lets the indirect-branch lookup hashtable grow itself:
+	// when live entries exceed half the capacity, the table doubles, every
+	// entry is rehashed and the lookup routines are re-emitted with the new
+	// mask (see DESIGN.md). Ignored under SharedCache or IBLDirectMapped,
+	// which keep the legacy fixed direct-mapped table.
+	IBLAdaptive bool
+
+	// IBLDirectMapped reverts the lookup hashtable to the legacy
+	// single-probe direct-mapped organization (last writer wins on a
+	// collision, so a collided target misses to the dispatcher forever).
+	// Kept as the ablation baseline for the IBL sweep.
+	IBLDirectMapped bool
+
+	// FlagsElision enables eflags-liveness flag-save elision (Section 4.4):
+	// when the target of an indirect branch provably rewrites all six
+	// arithmetic flags before reading any — with no intervening fault
+	// hazard — the IBL target prefix and the trace inline check skip the
+	// popfd on their hit paths, replacing it with a flag-neutral lea that
+	// discards the pushed flags word.
+	FlagsElision bool
 
 	// CacheSize caps each thread's basic-block cache and trace cache, in
 	// bytes (0 = the 2 MiB default, effectively the paper's "unlimited
@@ -155,6 +177,11 @@ type CostModel struct {
 	// Section 6's FIFO replacement.
 	Evict machine.Ticks
 
+	// IBLResize is charged per adaptive doubling of the indirect-branch
+	// lookup hashtable: rehashing every entry and re-emitting the three
+	// lookup routines with the new mask.
+	IBLResize machine.Ticks
+
 	// FaultTranslate is charged per fault whose cache context is
 	// translated back to native application form (the state translation
 	// of Section 3.3.4).
@@ -190,14 +217,16 @@ func DefaultCost() CostModel {
 		ClientInstr:     100,
 		CleanCall:       160, // ~40 cycles to save/restore around a call
 		ReplaceFragment: 8000,
-		Evict:           200, // ~50 cycles to unlink and scrub one victim
-		FaultTranslate:  400, // ~100 cycles to walk the xl8 table and rebuild state
+		Evict:           200,   // ~50 cycles to unlink and scrub one victim
+		IBLResize:       2000,  // ~500 cycles to rehash and re-emit the routines
+		FaultTranslate:  400,   // ~100 cycles to walk the xl8 table and rebuild state
 		Sync:            20000, // ~5000 cycles to coordinate all threads
 	}
 }
 
 // Default returns the full-featured configuration (the paper's "base
-// DynamoRIO"): caching, direct and indirect linking, and traces.
+// DynamoRIO"): caching, direct and indirect linking, traces, the adaptive
+// open-address IBL hashtable and eflags-liveness flag-save elision.
 func Default() Options {
 	return Options{
 		Mode:           ModeCache,
@@ -207,6 +236,8 @@ func Default() Options {
 		TraceThreshold: 50,
 		MaxTraceBlocks: 32,
 		IBLTableBits:   8,
+		IBLAdaptive:    true,
+		FlagsElision:   true,
 		Cost:           DefaultCost(),
 	}
 }

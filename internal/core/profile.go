@@ -58,9 +58,12 @@ func (r *RIO) noteEmitProfile(ctx *Context, f *Fragment) {
 	if f.Kind == KindTrace {
 		bodyPhase = obs.PhaseAppCacheTrace
 	}
-	r.M.MapCodeRange(f.Entry, f.Entry+machine.Addr(f.BodyLen), bodyPhase, p.fid, false)
-	if f.Size > f.BodyLen {
-		r.M.MapCodeRange(f.Entry+machine.Addr(f.BodyLen), f.Entry+machine.Addr(f.Size),
+	// The IBL target prefix is charged to the fragment body: it is the tail
+	// of the indirect-branch fast path, executed on every in-cache hit.
+	bodyEnd := f.Entry + machine.Addr(f.PrefixLen+f.BodyLen)
+	r.M.MapCodeRange(f.Entry, bodyEnd, bodyPhase, p.fid, false)
+	if f.Size > f.PrefixLen+f.BodyLen {
+		r.M.MapCodeRange(bodyEnd, f.Entry+machine.Addr(f.Size),
 			obs.PhaseExitStub, p.fid, true)
 	}
 }

@@ -42,6 +42,23 @@ type Stats struct {
 	Regenerations uint64
 	CacheResizes  uint64
 
+	// Indirect-branch lookup hashtable behaviour. IBLCollisions counts
+	// inserts displaced from their home slot (open addressing) or
+	// clobbering a prior entry (direct-mapped); IBLMaxProbe is the longest
+	// insert probe distance seen; IBLReplaced counts entries displaced
+	// because a fixed-size table hit its load ceiling; IBLResizes counts
+	// adaptive table doublings.
+	IBLCollisions uint64
+	IBLMaxProbe   uint64
+	IBLReplaced   uint64
+	IBLResizes    uint64
+
+	// Flags-liveness elision: fragments emitted with a flag-save-free IBL
+	// target prefix, and trace inline checks whose hit-path popfd was
+	// elided.
+	FlagsElisions      uint64
+	InlineChecksElided uint64
+
 	// Fault transparency (Section 3.3.4): faults whose cache context was
 	// rewritten to native application form, and threads that fell back to
 	// native execution after an internal runtime failure.
@@ -112,6 +129,9 @@ func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clie
 	}
 	if opts.IBLTableBits == 0 {
 		opts.IBLTableBits = 8
+	}
+	if opts.IBLTableBits > maxIBLTableBits {
+		opts.IBLTableBits = maxIBLTableBits
 	}
 	if opts.RegenThreshold <= 0 {
 		opts.RegenThreshold = 0.5
@@ -205,7 +225,8 @@ func (r *RIO) setupThread(t *machine.Thread, startTag machine.Addr) {
 	ctx.bb = newRegion(KindBasicBlock, bbCacheBase+slot*cacheStride, size, r.Opts.BBCacheSize, r.Opts.SharedCache)
 	ctx.trace = newRegion(KindTrace, traceCacheBase+slot*cacheStride, size, r.Opts.TraceCacheSize, r.Opts.SharedCache)
 	ctx.tableBase = tlsBase + slot*tlsStride + offIBLTable
-	ctx.tableMask = 1<<r.Opts.IBLTableBits - 1
+	ctx.tableBits = r.Opts.IBLTableBits
+	ctx.tableMask = 1<<ctx.tableBits - 1
 
 	if r.Opts.Mode == ModeCache && r.Opts.LinkIndirect {
 		r.emitIBLRoutines(ctx)
@@ -235,6 +256,20 @@ func (r *RIO) setupThread(t *machine.Thread, startTag machine.Addr) {
 			}
 		}
 	}
+}
+
+// usesIBLPrefix reports whether fragments carry an indirect-branch target
+// prefix and the lookup hashtable is the open-address organization (the two
+// are coupled: the hashtable's dest field points at the prefix, and the
+// lookup routine's hit path relies on the prefix to restore ECX and the
+// flags). False under SharedCache — a prefix restores ECX from its own
+// emitter's TLS spill slot, which is the wrong slot when the exit that
+// spilled was emitted by another thread — and under the IBLDirectMapped
+// ablation, both of which keep the legacy routine shape that restores the
+// application context inside the routine itself.
+func (r *RIO) usesIBLPrefix() bool {
+	return r.Opts.Mode == ModeCache && r.Opts.LinkIndirect &&
+		!r.Opts.SharedCache && !r.Opts.IBLDirectMapped
 }
 
 // ContextOf returns the runtime context of a machine thread, or nil if the

@@ -17,6 +17,17 @@ func statInc(p *uint64) { atomic.AddUint64(p, 1) }
 // statAdd atomically adds n to one Stats counter.
 func statAdd(p *uint64, n uint64) { atomic.AddUint64(p, n) }
 
+// statMax atomically raises one Stats counter to v if v is larger (used for
+// high-water marks like the IBL probe length).
+func statMax(p *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(p)
+		if v <= cur || atomic.CompareAndSwapUint64(p, cur, v) {
+			return
+		}
+	}
+}
+
 // StatsSnapshot returns a consistent copy of the runtime's counters, safe
 // to call concurrently with running threads. The live-byte gauges are
 // aggregated across every thread's cache regions at snapshot time — the
@@ -42,6 +53,12 @@ func (r *RIO) StatsSnapshot() Stats {
 		Evictions:             atomic.LoadUint64(&r.Stats.Evictions),
 		Regenerations:         atomic.LoadUint64(&r.Stats.Regenerations),
 		CacheResizes:          atomic.LoadUint64(&r.Stats.CacheResizes),
+		IBLCollisions:         atomic.LoadUint64(&r.Stats.IBLCollisions),
+		IBLMaxProbe:           atomic.LoadUint64(&r.Stats.IBLMaxProbe),
+		IBLReplaced:           atomic.LoadUint64(&r.Stats.IBLReplaced),
+		IBLResizes:            atomic.LoadUint64(&r.Stats.IBLResizes),
+		FlagsElisions:         atomic.LoadUint64(&r.Stats.FlagsElisions),
+		InlineChecksElided:    atomic.LoadUint64(&r.Stats.InlineChecksElided),
 		FaultsTranslated:      atomic.LoadUint64(&r.Stats.FaultsTranslated),
 		Detaches:              atomic.LoadUint64(&r.Stats.Detaches),
 	}

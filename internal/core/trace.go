@@ -59,6 +59,7 @@ func (r *RIO) buildTrace(ctx *Context) {
 	trace := instr.NewList()
 	cost := r.Opts.Cost
 	statInc(&r.Stats.TracesBuilt)
+	ctx.inlineRestores = ctx.inlineRestores[:0]
 
 	total := 0
 	var spans []srcSpan
@@ -104,6 +105,8 @@ func (r *RIO) buildTrace(ctx *Context) {
 			h.Trace(ctx, headTag, trace)
 		}
 	}
+
+	r.elideInlineFlagRestores(ctx, trace)
 
 	f := r.emit(ctx, KindTrace, headTag, trace)
 	f.spans = spans
@@ -233,9 +236,47 @@ func (r *RIO) appendInlineCheck(ctx *Context, block *instr.List, bt BranchType, 
 	miss.SetExitClass(1 + uint8(bt) | ClassFlagsPushedBit)
 	miss.SetXl8(ctiPC, instr.Xl8RestoreECX|instr.Xl8FlagsPushed)
 	block.Append(miss)
-	block.Append(instr.CreatePopfd().SetXl8(ctiPC, instr.Xl8RestoreECX|instr.Xl8FlagsPushed))
-	block.Append(instr.CreateMov(ia32.RegOp(ia32.ECX), ctx.spillOp(offSpillECX)).
+	popfd := block.Append(instr.CreatePopfd().SetXl8(ctiPC, instr.Xl8RestoreECX|instr.Xl8FlagsPushed))
+	mov := block.Append(instr.CreateMov(ia32.RegOp(ia32.ECX), ctx.spillOp(offSpillECX)).
 		SetXl8(ctiPC, instr.Xl8RestoreECX))
+	ctx.inlineRestores = append(ctx.inlineRestores, inlineRestore{popfd: popfd, mov: mov})
+}
+
+// inlineRestore records an inline target check's hit-path restore pair for
+// the flags-elision pass: the popfd and the following ECX reload.
+type inlineRestore struct {
+	popfd *instr.Instr
+	mov   *instr.Instr
+}
+
+// elideInlineFlagRestores rewrites trace inline-check hit paths whose
+// continuation provably rewrites all six arithmetic flags before reading
+// any: the popfd becomes a flag-neutral lea that discards the pushed eflags
+// word (Section 4.4 applied to traces). The pushfd stays — the inline cmp
+// clobbers flags before the check resolves, and the miss path's stub still
+// restores them with its own popfd. Pairs whose popfd a client hook removed
+// or replaced are skipped.
+func (r *RIO) elideInlineFlagRestores(ctx *Context, trace *instr.List) {
+	defer func() { ctx.inlineRestores = ctx.inlineRestores[:0] }()
+	if !r.Opts.FlagsElision || !r.usesIBLPrefix() {
+		return
+	}
+	esp := ia32.RegOp(ia32.ESP)
+	for _, p := range ctx.inlineRestores {
+		if !p.popfd.InList(trace) || !p.mov.InList(trace) {
+			continue
+		}
+		// The walk starts after the popfd and skips the known-safe ECX
+		// reload (its TLS read would otherwise end the analysis as a
+		// potential fault site).
+		if !flagsDeadFrom(p.popfd.Next(), p.mov) {
+			continue
+		}
+		pc, scr := p.popfd.Xl8()
+		trace.Replace(p.popfd, instr.CreateLea(esp,
+			ia32.MemOp(ia32.ESP, ia32.RegNone, 0, 4, 4)).SetXl8(pc, scr))
+		statInc(&r.Stats.InlineChecksElided)
+	}
 }
 
 // MarkTraceHead marks tag as a custom trace head (the paper's

@@ -228,15 +228,27 @@ type StormConfig struct {
 	Opts func() core.Options
 }
 
-// DefaultStormConfigs compares the unbounded runtime and a pressured
-// 4 KiB-bounded runtime against native, so fault translation is exercised
-// both with stable fragments and across FIFO eviction churn.
+// DefaultStormConfigs compares the unbounded runtime, a pressured
+// 4 KiB-bounded runtime, and an elision-off/direct-mapped runtime against
+// native, so fault translation is exercised with stable fragments, across
+// FIFO eviction churn, and through both forms of the IBL target prefix:
+// the default columns run with flag-save elision and the open-address
+// table (faults can land inside an elided, no-popfd prefix), while the
+// last column pins the legacy direct-mapped lookup with no prefixes at
+// all.
 func DefaultStormConfigs() []StormConfig {
 	return []StormConfig{
 		{"unbounded", core.Default},
 		{"4k", func() core.Options {
 			o := core.Default()
 			o.BBCacheSize, o.TraceCacheSize = 4<<10, 4<<10
+			return o
+		}},
+		{"direct-noelide", func() core.Options {
+			o := core.Default()
+			o.IBLDirectMapped = true
+			o.IBLAdaptive = false
+			o.FlagsElision = false
 			return o
 		}},
 	}
@@ -250,6 +262,7 @@ type StormOutcome struct {
 	FaultsTranslated uint64 `json:"faults_translated"`
 	Detaches         uint64 `json:"detaches"`
 	Evictions        uint64 `json:"evictions"`
+	FlagsElisions    uint64 `json:"flags_elisions"`
 }
 
 // StormScheduleResult is one schedule's differential across all configs.
@@ -315,6 +328,7 @@ func runStormSchedule(b *workload.Benchmark, sched FaultSchedule, configs []Stor
 			FaultsTranslated: stats.FaultsTranslated,
 			Detaches:         stats.Detaches,
 			Evictions:        stats.Evictions,
+			FlagsElisions:    stats.FlagsElisions + stats.InlineChecksElided,
 		})
 	}
 	return res, nil

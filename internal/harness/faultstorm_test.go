@@ -55,7 +55,7 @@ func TestFaultStormFull(t *testing.T) {
 	if len(rows) != len(benches) {
 		t.Fatalf("%d rows for %d benchmarks", len(rows), len(benches))
 	}
-	var totalTranslated uint64
+	var totalTranslated, elidedColElisions uint64
 	pass := 0
 	for _, r := range rows {
 		if len(r.Schedules) != len(seeds) {
@@ -78,6 +78,13 @@ func TestFaultStormFull(t *testing.T) {
 					t.Errorf("%s seed %d under %s: %s", r.Benchmark, s.Seed, o.Config, o.Mismatch)
 				}
 				totalTranslated += o.FaultsTranslated
+				if o.Config == "direct-noelide" {
+					if o.FlagsElisions != 0 {
+						t.Errorf("%s seed %d: elision ran in the direct-noelide column", r.Benchmark, s.Seed)
+					}
+				} else {
+					elidedColElisions += o.FlagsElisions
+				}
 			}
 		}
 	}
@@ -86,6 +93,9 @@ func TestFaultStormFull(t *testing.T) {
 	}
 	if totalTranslated == 0 {
 		t.Error("no fault context was ever translated from cache form: the differential tested nothing")
+	}
+	if elidedColElisions == 0 {
+		t.Error("no flag-save elisions in the default columns: the storm never crossed an elided IBL prefix")
 	}
 	t.Logf("%d/%d benchmarks passed, %d fault contexts translated", pass, len(rows), totalTranslated)
 }

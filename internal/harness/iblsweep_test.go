@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestIBLSweepShape asserts the acceptance claims of the IBL experiment:
+// (a) the adaptive open-address table takes fewer trips through the
+// dispatcher than the fixed direct-mapped baseline on the indirect-heavy
+// benchmarks, and (b) flag-save elision reduces total simulated cycles on
+// the flag-dead-heavy workloads relative to the same configuration with
+// elision disabled.
+func TestIBLSweepShape(t *testing.T) {
+	points := DefaultIBLSweep()
+	rows, err := IBLSweep(0, workload.All(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.All()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(workload.All()))
+	}
+	direct64 := IBLPointIndex(points, "direct-64")
+	adaptive := IBLPointIndex(points, "adaptive-from-64")
+	open256 := IBLPointIndex(points, "open-256")
+	noElide := IBLPointIndex(points, "open-256-noelide")
+	if direct64 < 0 || adaptive < 0 || open256 < 0 || noElide < 0 {
+		t.Fatal("default sweep is missing a required point")
+	}
+	byName := map[string]IBLSweepRow{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+
+	// (a) The indirect-heavy analogues. gap's working set of indirect
+	// targets happens to fit even the 64-entry direct-mapped table without
+	// conflicts, so it is allowed to tie; the others must strictly improve,
+	// and the group total must drop.
+	var totalDirect, totalAdaptive uint64
+	for _, name := range []string{"crafty", "eon", "perlbmk", "gap"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("no row for %s", name)
+		}
+		d := r.Cells[direct64].Stats.ContextSwitches
+		a := r.Cells[adaptive].Stats.ContextSwitches
+		totalDirect += d
+		totalAdaptive += a
+		if a > d {
+			t.Errorf("%s: adaptive IBL context switches %d > direct-mapped %d", name, a, d)
+		}
+		if name != "gap" && a >= d {
+			t.Errorf("%s: adaptive IBL context switches %d, want strictly below direct-mapped %d", name, a, d)
+		}
+	}
+	if totalAdaptive >= totalDirect {
+		t.Errorf("adaptive IBL context switches %d over the indirect-heavy group, want below direct-mapped %d",
+			totalAdaptive, totalDirect)
+	}
+
+	// (b) Flag-save elision on the flag-dead-heavy workloads: same table,
+	// only the prefix form differs.
+	for _, name := range []string{"crafty", "eon", "perlbmk", "gap", "mesa"} {
+		r := byName[name]
+		with := r.Cells[open256].Ticks.Cycles()
+		without := r.Cells[noElide].Ticks.Cycles()
+		if with >= without {
+			t.Errorf("%s: %d cycles with elision, want below %d without", name, with, without)
+		}
+		if r.Cells[open256].Stats.FlagsElisions == 0 {
+			t.Errorf("%s: no fragments elided; the comparison is vacuous", name)
+		}
+		if r.Cells[noElide].Stats.FlagsElisions != 0 {
+			t.Errorf("%s: elision ran in the no-elision column", name)
+		}
+	}
+	means := IBLSweepMeans(points, rows)
+	if means[open256] >= means[noElide] {
+		t.Errorf("suite mean %0.4f with elision, want below %0.4f without", means[open256], means[noElide])
+	}
+	if means[adaptive] >= means[direct64] {
+		t.Errorf("suite mean %0.4f with adaptive IBL, want below %0.4f direct-mapped", means[adaptive], means[direct64])
+	}
+
+	// The adaptive column must actually have grown somewhere, or it is
+	// just open-64 under another name.
+	var resizes uint64
+	for _, r := range rows {
+		resizes += r.Cells[adaptive].Stats.IBLResizes
+	}
+	if resizes == 0 {
+		t.Error("adaptive column recorded zero table resizes")
+	}
+}

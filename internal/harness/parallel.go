@@ -61,6 +61,22 @@ func RunMatrix(workers int, benches []*workload.Benchmark, opts core.Options) ([
 	return rows, errors.Join(errs...)
 }
 
+// Figure5Options returns the configuration Figure 5 measures against: the
+// paper's base system. The indirect-branch lookup is pinned to the fixed
+// direct-mapped table without flag-save elision, so the Section 4 client
+// optimizations (which attack exactly that indirect-branch overhead) are
+// compared against the system the paper describes. The adaptive
+// open-address IBL and eflags-liveness elision are evaluated separately by
+// the IBL sweep (drbench -iblsweep), which includes this configuration as
+// its ablation baseline.
+func Figure5Options() core.Options {
+	o := core.Default()
+	o.IBLDirectMapped = true
+	o.IBLAdaptive = false
+	o.FlagsElision = false
+	return o
+}
+
 // Figure5Parallel reproduces Figure 5 with the given worker count (<= 0
 // means one worker per GOMAXPROCS). With names non-empty, only those
 // benchmarks run. The rows are bit-identical to the serial Figure5.
@@ -69,7 +85,7 @@ func Figure5Parallel(workers int, names ...string) ([]Figure5Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RunMatrix(workers, benches, core.Default())
+	return RunMatrix(workers, benches, Figure5Options())
 }
 
 func benchSubset(names []string) ([]*workload.Benchmark, error) {

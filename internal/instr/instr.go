@@ -162,6 +162,11 @@ func FromDecode(raw []byte, pc uint32) (*Instr, error) {
 func (i *Instr) Prev() *Instr { return i.prev }
 func (i *Instr) Next() *Instr { return i.next }
 
+// InList reports whether the instruction currently belongs to l. Passes that
+// keep references to instructions across client hooks (which may remove or
+// replace them) use it to validate the reference before rewriting.
+func (i *Instr) InList(l *List) bool { return i.list == l }
+
 // Level returns the instruction's current level of detail.
 func (i *Instr) Level() Level { return i.level }
 

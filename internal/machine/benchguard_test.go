@@ -1,0 +1,57 @@
+package machine_test
+
+import (
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/image"
+	"repro/internal/machine"
+)
+
+// TestInterpreterRegressionGuard fails when BenchmarkInterpreterHotLoop's
+// throughput drops more than 5% below the checked-in baseline. Raw
+// instructions-per-second is host-dependent, so the guarded metric is the
+// ratio of interpreter throughput to a fixed calibration kernel measured in
+// the same process: a uniformly slower machine moves both and the ratio
+// holds, while an interpreter regression moves only the numerator.
+func TestInterpreterRegressionGuard(t *testing.T) {
+	guard.Gate(t)
+	img, err := image.Assemble("hotloop", hotLoopSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each round measures the interpreter and the calibration kernel
+	// back-to-back and scores their ratio; the best of five rounds drops
+	// the rounds a scheduler hiccup hit. The same procedure produces the
+	// baseline, so the two numbers are directly comparable.
+	score := guard.Best(5, func() float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			var instret uint64
+			for i := 0; i < b.N; i++ {
+				m := machine.New(machine.PentiumIV())
+				img.Boot(m)
+				if err := m.Run(20_000_000); err != nil {
+					b.Fatal(err)
+				}
+				instret = m.Stats.Instructions
+			}
+			b.SetBytes(int64(instret))
+		})
+		mips := float64(res.Bytes) * float64(res.N) / res.T.Seconds()
+		return mips / guard.Calibrate()
+	})
+
+	base := guard.Load(t, "BENCH_baseline.json")
+	if guard.WriteMode() {
+		base.HotloopScore = score
+		guard.Save(t, "BENCH_baseline.json", base)
+		return
+	}
+	if base.HotloopScore == 0 {
+		t.Fatal("baseline has no hotloop score; regenerate with BENCH_GUARD_WRITE=1")
+	}
+	if score < base.HotloopScore*0.95 {
+		t.Errorf("interpreter hot loop score %.3f regressed >5%% below baseline %.3f", score, base.HotloopScore)
+	}
+	t.Logf("hotloop score %.3f (baseline %.3f)", score, base.HotloopScore)
+}

@@ -22,11 +22,13 @@ const (
 	EvDetach
 	EvFaultXl8
 	EvSignal
+	EvIBLResize
 	numEventTypes
 )
 
 var eventNames = [numEventTypes]string{
 	"emit", "link", "unlink", "evict", "resize", "detach", "fault-xl8", "signal",
+	"ibl-resize",
 }
 
 func (t EventType) String() string {
