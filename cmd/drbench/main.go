@@ -18,6 +18,9 @@
 //	drbench -profile             # where-the-cycles-go: phase accounting + hottest fragments
 //	drbench -profile -json BENCH_profile.json
 //	drbench -profile -ring 4096 -trace-out BENCH_events.jsonl   # runtime event trace
+//	drbench -fuzz                # generative differential: 200 seeded programs x 4 configs vs native
+//	drbench -fuzz -fuzz-seeds 1000 -fuzz-ops 60 -parallel 0
+//	drbench -fuzz -fuzz-corpus repros/   # shrink and store repros for any mismatch
 //	drbench -all                 # everything
 //	drbench -verify              # transparency matrix: 22 benchmarks x 11 configs
 //
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -58,13 +62,18 @@ func main() {
 		iblBits    = flag.Uint("ibl-bits", 0, "initial IBL hashtable size as log2 entries for -figure5 (0 = runtime default)")
 		iblAdapt   = flag.Bool("ibl-adaptive", false, "run -figure5 on the adaptive open-address IBL hashtable instead of the paper's fixed direct-mapped table")
 		noElide    = flag.Bool("no-flags-elision", false, "disable eflags-liveness flag-save elision for -figure5 (meaningful with -ibl-adaptive)")
+		fuzzFlag   = flag.Bool("fuzz", false, "run the generative differential fuzzer: seeded programs, native vs the runtime configuration matrix")
+		fuzzSeeds  = flag.Int("fuzz-seeds", 200, "number of generator seeds for -fuzz")
+		fuzzBase   = flag.Int64("fuzz-seed-base", 1, "first generator seed for -fuzz")
+		fuzzOps    = flag.Int("fuzz-ops", 40, "statement budget per generated program for -fuzz")
+		fuzzCorpus = flag.String("fuzz-corpus", "", "directory to write shrunk repro entries to when -fuzz finds a mismatch")
 		profile    = flag.Bool("profile", false, "run the where-the-cycles-go experiment: per-phase tick accounting + per-fragment profiles")
 		topN       = flag.Int("top", 10, "hottest fragments kept per benchmark for -profile")
 		ring       = flag.Int("ring", 0, "per-thread event-trace ring size for -profile (0 = tracing off)")
 		traceOut   = flag.String("trace-out", "", "write the drained -profile event trace as JSONL to this path (implies -ring 4096 unless set)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*iblsweep && !*faultstorm && !*profile && !*all && !*verify {
+	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*iblsweep && !*faultstorm && !*fuzzFlag && !*profile && !*all && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -218,6 +227,80 @@ func main() {
 		}
 	}
 
+	if *fuzzFlag || *all {
+		if *fuzzSeeds <= 0 {
+			fmt.Fprintln(os.Stderr, "drbench: -fuzz-seeds must be positive")
+			os.Exit(1)
+		}
+		seeds := make([]int64, *fuzzSeeds)
+		for i := range seeds {
+			seeds[i] = *fuzzBase + int64(i)
+		}
+		start := time.Now()
+		reports, err := fuzz.Campaign(*parallel, seeds, *fuzzOps, nil)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		requireResults("fuzz", len(reports))
+		var failing []*fuzz.Report
+		stmts, faults := 0, 0
+		for _, r := range reports {
+			stmts += r.Stmts
+			if r.Fault {
+				faults++
+			}
+			if !r.Passed() {
+				failing = append(failing, r)
+			}
+		}
+		configs := fuzz.Configs()
+		fmt.Printf("fuzz: %d programs (seeds %d..%d, %d stmts, %d with fault sites) x %d configs: %d mismatching (%.2fs wall clock)\n",
+			len(reports), *fuzzBase, *fuzzBase+int64(*fuzzSeeds)-1, stmts, faults, len(configs), len(failing), elapsed.Seconds())
+		for _, r := range failing {
+			mm, _ := r.FirstMismatch()
+			fmt.Printf("  seed %d under %s: %s\n", r.Seed, mm.Config, mm.Mismatch)
+		}
+		if len(failing) > 0 && *fuzzCorpus != "" {
+			for _, r := range failing {
+				p := fuzz.Generate(r.Seed, *fuzzOps)
+				stillFails := func(q *fuzz.Prog) bool {
+					rep, err := fuzz.Check(q, nil)
+					return err == nil && !rep.Passed()
+				}
+				shrunk := fuzz.Shrink(p, stillFails, 0)
+				mm, _ := r.FirstMismatch()
+				e := &fuzz.Entry{
+					Name:     fmt.Sprintf("fuzz-seed%d", r.Seed),
+					Note:     fmt.Sprintf("shrunk from %d statements by drbench -fuzz", p.NumStmts()),
+					Config:   mm.Config,
+					Mismatch: mm.Mismatch,
+					Prog:     *shrunk,
+				}
+				if err := fuzz.WriteEntry(*fuzzCorpus, e); err != nil {
+					fmt.Fprintln(os.Stderr, "drbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("  wrote %s/%s.json (%d statements)\n", *fuzzCorpus, e.Name, shrunk.NumStmts())
+			}
+		}
+		if *jsonPath != "" {
+			path := *jsonPath
+			if figure5JSONWritten || cachesweepJSONWritten || iblsweepJSONWritten {
+				path += ".fuzz.json" // several matrices requested: keep all files
+			}
+			if err := writeFuzzJSON(path, *fuzzBase, *fuzzOps, reports, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d programs, %.2fs wall clock)\n", path, len(reports), elapsed.Seconds())
+		}
+		if len(failing) > 0 {
+			os.Exit(1)
+		}
+	}
+
 	if *profile || *all {
 		ringSize := *ring
 		if *traceOut != "" && ringSize == 0 {
@@ -345,6 +428,46 @@ func writeJSON(path string, rows []harness.Figure5Row, workers int, elapsed time
 		out.Means.FP = append(out.Means.FP, m.FP[c])
 		out.Means.Int = append(out.Means.Int, m.Int[c])
 		out.Means.All = append(out.Means.All, m.All[c])
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// fuzzJSON is the file layout of -fuzz -json: one row per generated program
+// with its per-configuration verdicts, so CI can archive exactly which seeds
+// ran and which diverged.
+type fuzzJSON struct {
+	Schema           string         `json:"schema"`
+	Workers          int            `json:"workers"`
+	WallClockSeconds float64        `json:"wall_clock_seconds"`
+	SeedBase         int64          `json:"seed_base"`
+	MaxOps           int            `json:"max_ops"`
+	Configs          []string       `json:"configs"`
+	Programs         int            `json:"programs"`
+	Mismatching      int            `json:"mismatching"`
+	Reports          []*fuzz.Report `json:"reports"`
+}
+
+func writeFuzzJSON(path string, seedBase int64, maxOps int, reports []*fuzz.Report, workers int, elapsed time.Duration) error {
+	out := fuzzJSON{
+		Schema:           "drbench/fuzz/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+		SeedBase:         seedBase,
+		MaxOps:           maxOps,
+		Programs:         len(reports),
+		Reports:          reports,
+	}
+	for _, c := range fuzz.Configs() {
+		out.Configs = append(out.Configs, c.Name)
+	}
+	for _, r := range reports {
+		if !r.Passed() {
+			out.Mismatching++
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -92,7 +92,8 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 	var iblPrefix *instr.List
 	prefixLen := 0
 	if r.usesIBLPrefix() {
-		elide := r.Opts.FlagsElision && flagsDeadFrom(list.First(), nil)
+		elide := r.Opts.FlagsElision &&
+			(r.Opts.ForceFlagsDead || flagsDeadFrom(list.First(), nil))
 		iblPrefix = buildIBLPrefix(ctx, tag, elide)
 		n, err := iblPrefix.EncodedLen()
 		if err != nil {

@@ -13,83 +13,21 @@ package core_test
 // anything.
 
 import (
-	"slices"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/oracle"
 	"repro/internal/workload"
 )
 
 // diffRunLimit bounds one simulated run (instructions); matches the harness.
 const diffRunLimit = 600_000_000
 
-// threadState is one thread's architectural endpoint.
-type threadState struct {
-	Regs   [8]uint32
-	Eflags uint32
-	Halted bool
-	Exit   int32
-}
-
-// oracleState is everything eviction must not change.
-type oracleState struct {
-	Threads  []threadState
-	Output   string
-	Digest   uint64
-	Syscalls []machine.SyscallRecord
-}
-
-// deadStackBand is how far below each thread's final ESP memory is treated
-// as dead and zeroed before digesting. The runtime's mangled sequences
-// (inline-check pushfd, clean-call pushes) legitimately leave different
-// garbage below the live stack than the native run's own dead pushes; bytes
-// at or above ESP — the live stack — stay fully compared. The band bound is
-// deterministic across configurations because final ESP itself is part of
-// the compared register state.
-const deadStackBand = 256 << 10
-
-// captureState snapshots the machine's architectural endpoint. EIP is
-// excluded: threads halt inside cache code, whose address legitimately
-// depends on the cache configuration.
-func captureState(m *machine.Machine) oracleState {
-	zeros := make([]byte, 4096)
-	for _, t := range m.Threads {
-		esp := t.CPU.R[4]
-		lo := esp - deadStackBand
-		if lo > esp {
-			lo = 0 // underflow
-		}
-		for a := lo; a < esp; a += uint32(len(zeros)) {
-			n := esp - a
-			if n > uint32(len(zeros)) {
-				n = uint32(len(zeros))
-			}
-			m.Mem.WriteBytes(a, zeros[:n])
-		}
-	}
-	s := oracleState{
-		Output:   string(m.Output),
-		Digest:   m.Mem.Digest(0, core.RuntimeBase),
-		Syscalls: m.SyscallTrace,
-	}
-	for _, t := range m.Threads {
-		s.Threads = append(s.Threads, threadState{
-			Regs:   t.CPU.R,
-			Eflags: t.CPU.Eflags,
-			Halted: t.Halted,
-			Exit:   t.ExitCode,
-		})
-	}
-	return s
-}
-
-func statesEqual(a, b oracleState) bool {
-	return slices.Equal(a.Threads, b.Threads) &&
-		a.Output == b.Output &&
-		a.Digest == b.Digest &&
-		slices.Equal(a.Syscalls, b.Syscalls)
-}
+// The captured state (final registers, eflags, exit codes, output,
+// application-memory digest, syscall trace, fault sequence) and its
+// comparison live in internal/oracle, shared with the IBL differential
+// oracle, the FaultStorm harness and the differential fuzzer.
 
 // cacheConfig is one column of the differential matrix.
 type cacheConfig struct {
@@ -146,7 +84,7 @@ func TestEvictionDifferentialOracle(t *testing.T) {
 			// The native run is the extra, fifth column of the matrix:
 			// registers and EIP-free state must match it too, not just be
 			// self-consistent across cache configurations.
-			want := captureState(native)
+			want := oracle.Capture(native)
 
 			evictionsSeen := false
 			regensSeen := false
@@ -156,8 +94,8 @@ func TestEvictionDifferentialOracle(t *testing.T) {
 				if err := r.Run(diffRunLimit); err != nil {
 					t.Fatalf("%s: %v", cfg.name, err)
 				}
-				got := captureState(m)
-				if !statesEqual(got, want) {
+				got := oracle.Capture(m)
+				if !oracle.Equal(got, want) {
 					t.Errorf("%s: architectural state diverged from native:\n got %+v\nwant %+v",
 						cfg.name, got, want)
 				}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/oracle"
 	"repro/internal/workload"
 )
 
@@ -60,7 +61,7 @@ func TestIBLDifferentialOracle(t *testing.T) {
 			if err := native.Run(diffRunLimit); err != nil {
 				t.Fatalf("native: %v", err)
 			}
-			want := captureState(native)
+			want := oracle.Capture(native)
 
 			for _, cfg := range configs {
 				m := machine.New(machine.PentiumIV())
@@ -68,8 +69,8 @@ func TestIBLDifferentialOracle(t *testing.T) {
 				if err := r.Run(diffRunLimit); err != nil {
 					t.Fatalf("%s: %v", cfg.name, err)
 				}
-				got := captureState(m)
-				if !statesEqual(got, want) {
+				got := oracle.Capture(m)
+				if !oracle.Equal(got, want) {
 					t.Errorf("%s: architectural state diverged from native:\n got %+v\nwant %+v",
 						cfg.name, got, want)
 				}

@@ -1,0 +1,222 @@
+package core
+
+// Unit tests for the eflags-liveness analysis behind flag-save elision
+// (liveness.go). The per-opcode sweep pins one expected outcome for every
+// entry of the ia32 opcode table — a new opcode cannot be added without
+// deciding its liveness classification here — and the list and bundle cases
+// cover edges the black-box walk tests in ibl_internal_test.go do not: the
+// divide hazard, partial-writer interplay with condition readers, the exact
+// budget boundary, and Level 0 bundles decoded on the fly.
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/ia32"
+	"repro/internal/instr"
+)
+
+// stepKind classifies the expected stepFlagsDead outcome for one opcode seen
+// with no flags proven dead yet and no explicit memory operand.
+type stepKind int
+
+const (
+	stepEnds     stepKind = iota // terminal: (done=true, dead=false)
+	stepKillsAll                 // writes all six: (done=true, dead=true)
+	stepPartial                  // writes some: walk continues, set extended
+	stepNeutral                  // no flag effect: walk continues unchanged
+)
+
+// stepExpect lists the expected classification of every opcode in the ia32
+// table. Grouped by reason:
+//   - readers (adc/sbb/pushfd, every jcc/setcc/cmovcc) observe application
+//     flags — for jcc the CTI rule would also apply, but the read fires first;
+//   - unconditional CTIs, int and hlt end the straight-line window;
+//   - push/pop family and div are fault hazards even without a memory operand;
+//   - full six-flag writers settle the question affirmatively;
+//   - inc/dec (no CF) and rol/ror (CF+OF only) extend the proven-dead set;
+//   - data movement touches no flags.
+var stepExpect = map[ia32.Opcode]stepKind{
+	ia32.OpAdc: stepEnds, ia32.OpSbb: stepEnds, ia32.OpPushfd: stepEnds,
+
+	ia32.OpJmp: stepEnds, ia32.OpJmpInd: stepEnds, ia32.OpCall: stepEnds,
+	ia32.OpCallInd: stepEnds, ia32.OpRet: stepEnds,
+	ia32.OpInt: stepEnds, ia32.OpHlt: stepEnds,
+
+	ia32.OpPush: stepEnds, ia32.OpPop: stepEnds, ia32.OpPopfd: stepEnds,
+	ia32.OpDiv: stepEnds,
+
+	ia32.OpAdd: stepKillsAll, ia32.OpSub: stepKillsAll, ia32.OpCmp: stepKillsAll,
+	ia32.OpNeg: stepKillsAll, ia32.OpAnd: stepKillsAll, ia32.OpOr: stepKillsAll,
+	ia32.OpXor: stepKillsAll, ia32.OpTest: stepKillsAll, ia32.OpImul: stepKillsAll,
+	ia32.OpShl: stepKillsAll, ia32.OpShr: stepKillsAll, ia32.OpSar: stepKillsAll,
+	ia32.OpXadd: stepKillsAll,
+
+	ia32.OpInc: stepPartial, ia32.OpDec: stepPartial,
+	ia32.OpRol: stepPartial, ia32.OpRor: stepPartial,
+
+	ia32.OpMov: stepNeutral, ia32.OpMovzx: stepNeutral, ia32.OpMovsx: stepNeutral,
+	ia32.OpLea: stepNeutral, ia32.OpXchg: stepNeutral, ia32.OpNot: stepNeutral,
+	ia32.OpBswap: stepNeutral, ia32.OpNop: stepNeutral,
+}
+
+func init() {
+	// Every conditional branch, set and move reads its condition's flags.
+	for cc := ia32.Opcode(0); cc < 16; cc++ {
+		stepExpect[ia32.OpJo+cc] = stepEnds
+		stepExpect[ia32.OpSeto+cc] = stepEnds
+		stepExpect[ia32.OpCmovo+cc] = stepEnds
+	}
+}
+
+// TestStepFlagsDeadOpcodeTable sweeps every opcode through one step of the
+// walk and checks the outcome against the classification above. The coverage
+// assertion makes the sweep exhaustive by construction.
+func TestStepFlagsDeadOpcodeTable(t *testing.T) {
+	if got, want := len(stepExpect), int(ia32.NumOpcodes)-1; got != want {
+		t.Fatalf("stepExpect covers %d opcodes, table has %d (excluding OpInvalid)", got, want)
+	}
+	for op, kind := range stepExpect {
+		var written ia32.Eflags
+		done, dead := stepFlagsDead(op, op.Eflags(), false, &written)
+		switch kind {
+		case stepEnds:
+			if !done || dead {
+				t.Errorf("%v: got (done=%v, dead=%v), want terminal not-dead", op, done, dead)
+			}
+		case stepKillsAll:
+			if !done || !dead {
+				t.Errorf("%v: got (done=%v, dead=%v), want terminal dead", op, done, dead)
+			}
+		case stepPartial:
+			if done {
+				t.Errorf("%v: walk ended, want continuation", op)
+			}
+			if want := op.Eflags().WritesToReads(); written != want {
+				t.Errorf("%v: proven-dead set %v, want %v", op, written, want)
+			}
+		case stepNeutral:
+			if done || written != 0 {
+				t.Errorf("%v: got (done=%v, written=%v), want neutral continuation", op, done, written)
+			}
+		}
+	}
+
+	// A faultable operand ends the walk regardless of the opcode's own
+	// classification: mov is neutral above, but mov-from-memory can fault.
+	var written ia32.Eflags
+	if done, dead := stepFlagsDead(ia32.OpMov, 0, true, &written); !done || dead {
+		t.Errorf("faultable mov: got (done=%v, dead=%v), want terminal not-dead", done, dead)
+	}
+	// A reader passes once the flags it reads are proven dead: adc reading
+	// only the rewritten CF is no longer an observation, and its own write
+	// of all six then settles the walk affirmatively.
+	written = ia32.OpAdc.Eflags().ReadSet()
+	if done, dead := stepFlagsDead(ia32.OpAdc, ia32.OpAdc.Eflags(), false, &written); !done || !dead {
+		t.Errorf("adc with CF proven dead: got (done=%v, dead=%v), want terminal dead", done, dead)
+	}
+}
+
+// TestFlagsDeadFromEdges covers list-walk interactions beyond the black-box
+// cases in ibl_internal_test.go.
+func TestFlagsDeadFromEdges(t *testing.T) {
+	one := ia32.Imm8(1)
+	cases := []struct {
+		name string
+		mk   func() *instr.List
+		want bool
+	}{
+		{"rol kills CF and OF, jnc then reads the rewritten CF but is a CTI", func() *instr.List {
+			return instr.NewList(
+				instr.Create(ia32.OpRol, []ia32.Operand{eax()}, []ia32.Operand{one}),
+				instr.CreateJcc(ia32.OpJnb, 0x1000))
+		}, false},
+		{"rol then jz reads the still-live ZF", func() *instr.List {
+			return instr.NewList(
+				instr.Create(ia32.OpRol, []ia32.Operand{eax()}, []ia32.Operand{one}),
+				instr.CreateJcc(ia32.OpJz, 0x1000))
+		}, false},
+		{"inc then dec still leaves CF live", func() *instr.List {
+			return instr.NewList(instr.CreateInc(eax()), instr.CreateDec(eax()))
+		}, false},
+		{"inc and rol together complete the set", func() *instr.List {
+			// inc writes all but CF; rol adds CF (and OF again): union is six.
+			return instr.NewList(instr.CreateInc(eax()),
+				instr.Create(ia32.OpRol, []ia32.Operand{eax()}, []ia32.Operand{one}))
+		}, true},
+		{"div kills all six but can raise #DE", func() *instr.List {
+			return instr.NewList(instr.Create(ia32.OpDiv,
+				[]ia32.Operand{eax()}, []ia32.Operand{ia32.RegOp(ia32.ECX)}))
+		}, false},
+		{"one under budget still proves", func() *instr.List {
+			l := instr.NewList()
+			for i := 0; i < flagsLivenessBudget-1; i++ {
+				l.Append(instr.CreateMov(eax(), ia32.RegOp(ia32.EDX)))
+			}
+			l.Append(instr.CreateAdd(eax(), one))
+			return l
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.mk()
+			if got := flagsDeadFrom(l.First(), nil); got != tc.want {
+				t.Errorf("flagsDeadFrom = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// assembleBytes assembles one or more instructions to raw machine bytes for
+// bundle construction.
+func assembleBytes(t *testing.T, source string) []byte {
+	t.Helper()
+	p := asm.MustAssemble(".org 0x1000\nstart:\n" + source)
+	if len(p.Sections) != 1 {
+		t.Fatalf("expected one section, got %d", len(p.Sections))
+	}
+	return p.Sections[0].Bytes
+}
+
+// TestFlagsDeadBundle exercises the Level 0 bundle walk: raw copied
+// application bytes are decoded on the fly inside flagsDeadFrom.
+func TestFlagsDeadBundle(t *testing.T) {
+	cases := []struct {
+		name   string
+		source string
+		want   bool
+	}{
+		{"bundle full writer", "    add eax, 1\n", true},
+		{"bundle partial then full", "    inc eax\n    xor edx, edx\n", true},
+		{"bundle reader", "    adc eax, 1\n", false},
+		{"bundle memory hazard", "    mov eax, [ebx]\n    add eax, 1\n", false},
+		{"bundle CTI", "    jmp start\n", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := instr.NewList(instr.FromRawBundle(assembleBytes(t, tc.source), 0x1000))
+			if got := flagsDeadFrom(l.First(), nil); got != tc.want {
+				t.Errorf("flagsDeadFrom = %v, want %v", got, tc.want)
+			}
+		})
+	}
+
+	t.Run("undecodable bundle is conservative", func(t *testing.T) {
+		l := instr.NewList(instr.FromRawBundle([]byte{0xF1, 0xF1}, 0x1000))
+		if flagsDeadFrom(l.First(), nil) {
+			t.Error("flagsDeadFrom = true on undecodable bytes")
+		}
+	})
+
+	t.Run("bundle budget cutoff", func(t *testing.T) {
+		src := ""
+		for i := 0; i < flagsLivenessBudget; i++ {
+			src += "    mov eax, edx\n"
+		}
+		src += "    add eax, 1\n"
+		l := instr.NewList(instr.FromRawBundle(assembleBytes(t, src), 0x1000))
+		if flagsDeadFrom(l.First(), nil) {
+			t.Error("flagsDeadFrom = true past the liveness budget")
+		}
+	})
+}

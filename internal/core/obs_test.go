@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 	"repro/internal/workload"
 )
 
@@ -150,7 +151,7 @@ func TestEventRingTransparency(t *testing.T) {
 			if b == nil {
 				t.Fatalf("%s not in suite", name)
 			}
-			run := func(ring int) (oracleState, machine.Ticks, *core.RIO) {
+			run := func(ring int) (oracle.State, machine.Ticks, *core.RIO) {
 				opts := core.Default()
 				opts.BBCacheSize, opts.TraceCacheSize = 1024, 1024
 				m := machine.New(machine.PentiumIV())
@@ -158,11 +159,11 @@ func TestEventRingTransparency(t *testing.T) {
 				if err := r.Run(diffRunLimit); err != nil {
 					t.Fatalf("ring=%d: %v", ring, err)
 				}
-				return captureState(m), m.Ticks, r
+				return oracle.Capture(m), m.Ticks, r
 			}
 			offState, offTicks, _ := run(0)
 			onState, onTicks, r := run(1024)
-			if !statesEqual(offState, onState) {
+			if !oracle.Equal(offState, onState) {
 				t.Error("architectural state diverged with the event ring enabled")
 			}
 			if offTicks != onTicks {

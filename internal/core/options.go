@@ -114,6 +114,15 @@ type Options struct {
 	// detach-on-internal-failure path without corrupting real state.
 	InternalFaultHook func(ctx *Context, tag machine.Addr) bool
 
+	// ForceFlagsDead overrides the flagsDeadFrom liveness analysis to
+	// always report the arithmetic flags dead, making flag-save elision
+	// unsound: IBL target prefixes and trace inline checks discard the
+	// application eflags even when the target reads them. It is an
+	// intentionally injected mangler bug — the differential fuzzer's
+	// mutation-testing lever, proving the native-vs-runtime oracle detects
+	// real transparency violations. Never set it outside tests.
+	ForceFlagsDead bool
+
 	// Profile turns on the observability layer: per-tick phase accounting
 	// (every simulated tick attributed to a named execution phase, the
 	// paper's Section 4 breakdown) and per-fragment profiles (execution

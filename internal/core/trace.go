@@ -269,7 +269,7 @@ func (r *RIO) elideInlineFlagRestores(ctx *Context, trace *instr.List) {
 		// The walk starts after the popfd and skips the known-safe ECX
 		// reload (its TLS read would otherwise end the analysis as a
 		// potential fault site).
-		if !flagsDeadFrom(p.popfd.Next(), p.mov) {
+		if !r.Opts.ForceFlagsDead && !flagsDeadFrom(p.popfd.Next(), p.mov) {
 			continue
 		}
 		pc, scr := p.popfd.Xl8()

@@ -1,0 +1,221 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// corpusDir is the committed repro corpus, relative to this package.
+const corpusDir = "testdata/corpus"
+
+// forceElision is the mutation-testing lever: it makes flag-save elision
+// unsound in every configuration that has elision enabled.
+func forceElision(o *core.Options) { o.ForceFlagsDead = true }
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a, b := Generate(seed, 40), Generate(seed, 40)
+		if Render(a) != Render(b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	if Render(Generate(1, 40)) == Render(Generate(2, 40)) {
+		t.Fatal("different seeds rendered identically")
+	}
+}
+
+func TestGeneratedProgramShape(t *testing.T) {
+	// Every generated program must exercise the indirect machinery the
+	// matrix is built to stress.
+	for seed := int64(1); seed <= 10; seed++ {
+		p := Generate(seed, 40)
+		kinds := map[string]bool{}
+		var walk func(ss []Stmt)
+		walk = func(ss []Stmt) {
+			for _, s := range ss {
+				kinds[s.Kind] = true
+				walk(s.Body)
+				for _, c := range s.Cases {
+					walk(c)
+				}
+			}
+		}
+		walk(p.Body)
+		for _, want := range []string{"loop", "icall", "dispatch"} {
+			if !kinds[want] {
+				t.Errorf("seed %d: generated body has no %q statement", seed, want)
+			}
+		}
+		if p.Outer <= 50 {
+			t.Errorf("seed %d: outer count %d not past the trace threshold", seed, p.Outer)
+		}
+	}
+}
+
+// TestDifferentialSmoke runs a seeded campaign across the full four-column
+// matrix; every program must be bit-identical to native everywhere. The CI
+// smoke step runs the larger 200-seed campaign through drbench -fuzz.
+func TestDifferentialSmoke(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	reports, err := Campaign(0, seeds, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != n {
+		t.Fatalf("got %d reports, want %d", len(reports), n)
+	}
+	for _, r := range reports {
+		if mm, bad := r.FirstMismatch(); bad {
+			t.Errorf("seed %d diverged under %s: %s", r.Seed, mm.Config, mm.Mismatch)
+		}
+	}
+}
+
+// TestCorpusReplay replays every committed repro through the full
+// configuration matrix: each entry must match native with stock options, and
+// entries marked force_flags_dead must still diverge when the mutation lever
+// is armed — while the elision-off column stays clean, localizing the
+// divergence to the elision machinery.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("corpus is empty; expected at least the forced-elision repro")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			stock, err := Check(&e.Prog, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mm, bad := stock.FirstMismatch(); bad {
+				t.Fatalf("stock runtime diverged under %s: %s", mm.Config, mm.Mismatch)
+			}
+			if !e.ForceFlagsDead {
+				return
+			}
+			mutated, err := Check(&e.Prog, forceElision)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mutated.Passed() {
+				t.Fatal("mutation lever armed but no divergence: the repro lost its teeth")
+			}
+			for _, o := range mutated.Outcomes {
+				if o.Config == "noelide" && !o.Match {
+					t.Errorf("elision-off column diverged (%s): mismatch is not elision-caused", o.Mismatch)
+				}
+			}
+		})
+	}
+}
+
+// TestMutationForcedElisionCaught is the end-to-end mutation test: arming
+// the intentionally injected elision bug on a pinned seed must produce a
+// divergence, and the shrinker must reduce the program to a minimal repro
+// that still fails.
+func TestMutationForcedElisionCaught(t *testing.T) {
+	const seed = 7 // known locally-diverging seed, pinned for determinism
+	p := Generate(seed, 40)
+	rep, err := Check(p, forceElision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() {
+		t.Fatal("forced-elision mutation not caught: the oracle is blind to stale eflags")
+	}
+
+	failing := func(q *Prog) bool {
+		r, err := Check(q, forceElision)
+		return err == nil && !r.Passed()
+	}
+	shrunk := Shrink(p, failing, 400)
+	if !failing(shrunk) {
+		t.Fatal("shrunk program no longer fails")
+	}
+	if got := shrunk.NumStmts(); got > 12 {
+		t.Errorf("shrunk repro has %d statements, want <= 12", got)
+	}
+	if shrunk.NumStmts() >= p.NumStmts() {
+		t.Errorf("shrinker made no progress: %d -> %d statements", p.NumStmts(), shrunk.NumStmts())
+	}
+	// The minimal repro must be sound under the stock runtime.
+	stock, err := Check(shrunk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stock.Passed() {
+		t.Error("shrunk repro diverges even without the mutation")
+	}
+}
+
+// TestFaultingProgramsAgree pins the fault path: a seed whose program takes
+// the guarded guard-page read must deliver the same fault sequence (kind,
+// address, *native* EIP) everywhere.
+func TestFaultingProgramsAgree(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 20 && !found; seed++ {
+		p := Generate(seed, 40)
+		if !p.Fault {
+			continue
+		}
+		found = true
+		img, err := BuildImage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunNative(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Faults) == 0 {
+			t.Fatalf("seed %d: fault site generated but no fault delivered natively", seed)
+		}
+		rep, err := Check(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm, bad := rep.FirstMismatch(); bad {
+			t.Errorf("seed %d: %s: %s", seed, mm.Config, mm.Mismatch)
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 1..20 generated a fault site")
+	}
+}
+
+// FuzzDifferential is the Go-native fuzzing entry point: the input is a
+// generator seed, the property is four-way bit-identity with native.
+// Run with: go test -fuzz=FuzzDifferential ./internal/fuzz/
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		f.Add(seed)
+	}
+	if entries, err := LoadCorpus(corpusDir); err == nil {
+		for _, e := range entries {
+			f.Add(e.Prog.Seed)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := Generate(seed, 40)
+		rep, err := Check(p, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if mm, bad := rep.FirstMismatch(); bad {
+			t.Errorf("seed %d diverged under %s: %s", seed, mm.Config, mm.Mismatch)
+		}
+	})
+}

@@ -1,0 +1,548 @@
+// Package fuzz implements the generative differential tester: a seeded,
+// fully deterministic ia32 program generator whose output runs once natively
+// and once under each runtime configuration of a matrix, with the shared
+// internal/oracle capture deciding bit-identity of the architectural
+// endpoint. Programs are built from a weighted grammar chosen to stress
+// exactly the machinery the paper's runtime mangles — arithmetic over live
+// eflags, direct and indirect branches, calls and returns, loops hot enough
+// to trigger trace creation and IBL pressure, memory traffic near a
+// protected guard page, system calls, and optional fault sites — so a
+// mangling bug anywhere in the block builder, trace builder, IBL fast path
+// or flag-save elision surfaces as an architectural divergence. On mismatch
+// a delta-debugging shrinker (shrink.go) reduces the program to a minimal
+// seed-pinned repro for the corpus (corpus.go).
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Prog is the generated program in shrinkable, JSON-serializable form. The
+// renderer lowers it to assembly source for internal/asm; the shrinker edits
+// it structurally.
+type Prog struct {
+	Seed     int64    `json:"seed"`
+	Outer    int      `json:"outer"` // outer-loop iterations (trace heat)
+	Fault    bool     `json:"fault"` // body contains a guarded fault site
+	Routines [][]Stmt `json:"routines"`
+	Body     []Stmt   `json:"body"`
+}
+
+// Stmt is one grammar production. Register fields are indices the renderer
+// reduces modulo the register file, so shrinker edits can never make a
+// statement invalid.
+type Stmt struct {
+	Kind  string   `json:"k"`
+	Op    string   `json:"op,omitempty"`
+	CC    string   `json:"cc,omitempty"`
+	R1    int      `json:"r1,omitempty"`
+	R2    int      `json:"r2,omitempty"`
+	Imm   uint32   `json:"imm,omitempty"`
+	Count int      `json:"n,omitempty"`
+	Body  []Stmt   `json:"body,omitempty"`
+	Cases [][]Stmt `json:"cases,omitempty"`
+}
+
+// The register file statements draw from. ESP is never touched; loop and
+// selector maintenance clobber ESI deterministically, which is fine because
+// native and runtime runs execute identical code.
+var fuzzRegs = []string{"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp"}
+
+// Byte registers for setcc (only the a–d registers have low-byte names).
+var fuzzByteRegs = []string{"al", "bl", "cl", "dl"}
+
+// Divisors for div must not alias the implicit edx:eax accumulator.
+var fuzzDivRegs = []string{"ebx", "ecx", "esi", "edi", "ebp"}
+
+var (
+	aluOps   = []string{"add", "sub", "and", "or", "xor", "adc", "sbb"}
+	rmwOps   = []string{"add", "sub", "and", "or", "xor"}
+	shiftOps = []string{"shl", "shr", "sar", "rol", "ror"}
+	unaryOps = []string{"inc", "dec", "neg", "not", "bswap"}
+	condCCs  = []string{"z", "nz", "b", "nb", "l", "nl", "le", "nle", "s", "ns", "o", "no"}
+)
+
+// flagSensitive statements read the arithmetic flags as their first visible
+// act — placed at indirect-branch targets they are the adversarial probe of
+// flag-save elision.
+func flagSensitive(rng *rand.Rand) Stmt {
+	switch rng.Intn(3) {
+	case 0:
+		return Stmt{Kind: "alu", Op: []string{"adc", "sbb"}[rng.Intn(2)],
+			R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs))}
+	case 1:
+		return Stmt{Kind: "setcc", CC: condCCs[rng.Intn(len(condCCs))], R1: rng.Intn(4)}
+	default:
+		return Stmt{Kind: "cmov", CC: condCCs[rng.Intn(len(condCCs))],
+			R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs))}
+	}
+}
+
+// genCtx carries the generation budget and placement constraints.
+type genCtx struct {
+	rng       *rand.Rand
+	budget    *int // remaining statements across the whole program
+	depth     int  // loop nesting depth
+	inRoutine bool // routines may not call, dispatch or fault
+	nRoutines int
+}
+
+func (g genCtx) take() bool {
+	if *g.budget <= 0 {
+		return false
+	}
+	*g.budget--
+	return true
+}
+
+// genStmt produces one statement (possibly compound, consuming budget for
+// its children too).
+func genStmt(g genCtx) Stmt {
+	rng := g.rng
+	for {
+		switch rng.Intn(20) {
+		case 0, 1, 2:
+			return Stmt{Kind: "alu", Op: aluOps[rng.Intn(len(aluOps))],
+				R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs))}
+		case 3:
+			return Stmt{Kind: "alui", Op: aluOps[rng.Intn(len(aluOps))],
+				R1: rng.Intn(len(fuzzRegs)), Imm: genImm(rng)}
+		case 4:
+			return Stmt{Kind: "shift", Op: shiftOps[rng.Intn(len(shiftOps))],
+				R1: rng.Intn(len(fuzzRegs)), Imm: 1 + rng.Uint32()%5}
+		case 5:
+			return Stmt{Kind: "unary", Op: unaryOps[rng.Intn(len(unaryOps))],
+				R1: rng.Intn(len(fuzzRegs))}
+		case 6:
+			return Stmt{Kind: "mul", R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs))}
+		case 7:
+			return Stmt{Kind: "load", R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs))}
+		case 8:
+			return Stmt{Kind: "store", R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs))}
+		case 9:
+			return Stmt{Kind: "rmw", Op: rmwOps[rng.Intn(len(rmwOps))],
+				R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs))}
+		case 10:
+			return Stmt{Kind: "accum", R1: rng.Intn(len(fuzzRegs))}
+		case 11:
+			return flagSensitive(rng)
+		case 12:
+			return Stmt{Kind: "div", R1: rng.Intn(len(fuzzDivRegs))}
+		case 13:
+			return Stmt{Kind: "out", R1: rng.Intn(len(fuzzRegs))}
+		case 14:
+			body := genBlock(g, 1+rng.Intn(3))
+			return Stmt{Kind: "if", CC: condCCs[rng.Intn(len(condCCs))],
+				R1: rng.Intn(len(fuzzRegs)), R2: rng.Intn(len(fuzzRegs)), Body: body}
+		case 15:
+			if g.depth >= 2 {
+				continue
+			}
+			inner := g
+			inner.depth++
+			body := genBlock(inner, 1+rng.Intn(4))
+			return Stmt{Kind: "loop", Count: 2 + rng.Intn(7), Body: body}
+		case 16:
+			if g.inRoutine || g.nRoutines == 0 {
+				continue
+			}
+			return Stmt{Kind: "call", Count: rng.Intn(g.nRoutines)}
+		case 17:
+			if g.inRoutine || g.nRoutines == 0 {
+				continue
+			}
+			return Stmt{Kind: "icall", R2: rng.Intn(len(fuzzRegs)), Imm: 1 + 2*rng.Uint32()%16}
+		case 18, 19:
+			if g.inRoutine || g.depth >= 2 {
+				continue
+			}
+			ncases := 2 << rng.Intn(2) // 2 or 4
+			cases := make([][]Stmt, ncases)
+			inner := g
+			inner.depth++
+			for i := range cases {
+				cases[i] = genTargetBlock(inner, 1+rng.Intn(3))
+			}
+			return Stmt{Kind: "dispatch", R2: rng.Intn(len(fuzzRegs)),
+				Imm: 1 + 2*rng.Uint32()%16, Cases: cases}
+		}
+	}
+}
+
+// genBlock produces up to n statements, bounded by the global budget.
+func genBlock(g genCtx, n int) []Stmt {
+	var out []Stmt
+	for i := 0; i < n && g.take(); i++ {
+		out = append(out, genStmt(g))
+	}
+	return out
+}
+
+// genTargetBlock is genBlock for code reached by an indirect branch: the
+// first statement is biased adversarially — half the time it reads the
+// arithmetic flags (elision must have preserved them), a quarter of the time
+// it is a plain flag-killer (elision should trigger), otherwise anything.
+func genTargetBlock(g genCtx, n int) []Stmt {
+	var out []Stmt
+	if g.take() {
+		switch g.rng.Intn(4) {
+		case 0, 1:
+			out = append(out, flagSensitive(g.rng))
+		case 2:
+			out = append(out, Stmt{Kind: "alu", Op: "add",
+				R1: g.rng.Intn(len(fuzzRegs)), R2: g.rng.Intn(len(fuzzRegs))})
+		default:
+			out = append(out, genStmt(g))
+		}
+	}
+	for i := 1; i < n && g.take(); i++ {
+		out = append(out, genStmt(g))
+	}
+	return out
+}
+
+func genImm(rng *rand.Rand) uint32 {
+	switch rng.Intn(3) {
+	case 0:
+		return rng.Uint32() % 16 // small: exercises imm8 encodings
+	case 1:
+		return rng.Uint32()
+	default:
+		return 1 + rng.Uint32()%255
+	}
+}
+
+// Generate derives a complete program from a seed. maxOps bounds the total
+// statement count (<=0 selects the default of 40). The same (seed, maxOps)
+// always yields the identical program.
+func Generate(seed int64, maxOps int) *Prog {
+	if maxOps <= 0 {
+		maxOps = 40
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Prog{
+		Seed:  seed,
+		Outer: 64, // comfortably past the trace threshold of 50
+		Fault: rng.Intn(4) == 0,
+	}
+
+	nr := 1 + rng.Intn(3)
+	budget := maxOps
+	for i := 0; i < nr; i++ {
+		g := genCtx{rng: rng, budget: &budget, inRoutine: true}
+		p.Routines = append(p.Routines, genTargetBlock(g, 2+rng.Intn(4)))
+	}
+
+	g := genCtx{rng: rng, budget: &budget, nRoutines: nr}
+	p.Body = genBlock(g, maxOps)
+
+	// The matrix is only adversarial if every run exercises the indirect
+	// machinery: force at least one loop, one indirect call and one
+	// dispatch into the body.
+	ensure := func(kind string, mk func() Stmt) {
+		var scan func(ss []Stmt) bool
+		scan = func(ss []Stmt) bool {
+			for _, s := range ss {
+				if s.Kind == kind || scan(s.Body) {
+					return true
+				}
+				for _, c := range s.Cases {
+					if scan(c) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if !scan(p.Body) {
+			p.Body = append(p.Body, mk())
+		}
+	}
+	ensure("loop", func() Stmt {
+		inner := genCtx{rng: rng, budget: &budget, depth: 1, nRoutines: nr}
+		two := 2
+		if budget <= 0 {
+			budget = 2 // the floor statements may exceed an exhausted budget
+		}
+		return Stmt{Kind: "loop", Count: 2 + rng.Intn(7), Body: genBlock(inner, two)}
+	})
+	ensure("icall", func() Stmt {
+		return Stmt{Kind: "icall", R2: rng.Intn(len(fuzzRegs)), Imm: 1 + 2*rng.Uint32()%16}
+	})
+	ensure("dispatch", func() Stmt {
+		inner := genCtx{rng: rng, budget: &budget, depth: 1, nRoutines: nr}
+		if budget <= 0 {
+			budget = 4
+		}
+		return Stmt{Kind: "dispatch", R2: rng.Intn(len(fuzzRegs)), Imm: 3,
+			Cases: [][]Stmt{genTargetBlock(inner, 2), genTargetBlock(inner, 2)}}
+	})
+
+	if p.Fault {
+		p.Body = append(p.Body, Stmt{Kind: "fault", R2: rng.Intn(len(fuzzRegs))})
+	}
+	return p
+}
+
+// NumStmts counts every statement in the program, nested ones included.
+func (p *Prog) NumStmts() int {
+	var count func(ss []Stmt) int
+	count = func(ss []Stmt) int {
+		n := 0
+		for _, s := range ss {
+			n++
+			n += count(s.Body)
+			for _, c := range s.Cases {
+				n += count(c)
+			}
+		}
+		return n
+	}
+	n := count(p.Body)
+	for _, r := range p.Routines {
+		n += count(r)
+	}
+	return n
+}
+
+// GuardPage is a page protected (no read, no write) in every run, native and
+// runtime alike, so generated memory statements near it raise real #PF
+// faults identically everywhere. It sits above the data arrays and below the
+// stack.
+const GuardPage = 0x510000
+
+// renderer lowers a Prog to assembly source.
+type renderer struct {
+	text     strings.Builder // code
+	data     strings.Builder // tables and counters appended to the data section
+	label    int             // unique-label counter
+	routines int             // len(p.Routines), for call-target normalization
+}
+
+func (r *renderer) nextLabel(prefix string) string {
+	r.label++
+	return fmt.Sprintf("%s%d", prefix, r.label)
+}
+
+func (r *renderer) emit(format string, args ...any) {
+	fmt.Fprintf(&r.text, format+"\n", args...)
+}
+
+func reg(i int) string     { return fuzzRegs[((i%len(fuzzRegs))+len(fuzzRegs))%len(fuzzRegs)] }
+func byteReg(i int) string { return fuzzByteRegs[((i%4)+4)%4] }
+func divReg(i int) string  { return fuzzDivRegs[((i%5)+5)%5] }
+
+// selector emits the shared churn-and-mask sequence for indirect control
+// flow: the persistent selector cell advances by an odd stride (so every
+// table entry is eventually visited) and the masked value lands in a
+// scratch register.
+func (r *renderer) selector(s Stmt, mask uint32) string {
+	rs := reg(s.R2)
+	stride := s.Imm | 1
+	r.emit("    mov %s, [fz_sel]", rs)
+	r.emit("    add %s, %d", rs, stride)
+	r.emit("    mov [fz_sel], %s", rs)
+	r.emit("    and %s, %d", rs, mask)
+	return rs
+}
+
+func (r *renderer) stmt(s Stmt) {
+	switch s.Kind {
+	case "alu":
+		r.emit("    %s %s, %s", s.Op, reg(s.R1), reg(s.R2))
+	case "alui":
+		r.emit("    %s %s, %d", s.Op, reg(s.R1), s.Imm)
+	case "movi":
+		r.emit("    mov %s, %d", reg(s.R1), s.Imm)
+	case "mov":
+		r.emit("    mov %s, %s", reg(s.R1), reg(s.R2))
+	case "shift":
+		r.emit("    %s %s, %d", s.Op, reg(s.R1), 1+s.Imm%5)
+	case "unary":
+		r.emit("    %s %s", s.Op, reg(s.R1))
+	case "mul":
+		r.emit("    imul %s, %s", reg(s.R1), reg(s.R2))
+	case "load":
+		r.emit("    and %s, 63", reg(s.R2))
+		r.emit("    mov %s, [fz_arr + %s*4]", reg(s.R1), reg(s.R2))
+	case "store":
+		r.emit("    and %s, 63", reg(s.R2))
+		r.emit("    mov [fz_arr + %s*4], %s", reg(s.R2), reg(s.R1))
+	case "rmw":
+		r.emit("    and %s, 63", reg(s.R2))
+		r.emit("    %s [fz_arr + %s*4], %s", s.Op, reg(s.R2), reg(s.R1))
+	case "accum":
+		r.emit("    add [fz_sum], %s", reg(s.R1))
+	case "setcc":
+		r.emit("    set%s %s", s.CC, byteReg(s.R1))
+	case "cmov":
+		r.emit("    cmov%s %s, %s", s.CC, reg(s.R1), reg(s.R2))
+	case "if":
+		skip := r.nextLabel("fz_if")
+		r.emit("    cmp %s, %s", reg(s.R1), reg(s.R2))
+		r.emit("    j%s %s", s.CC, skip)
+		r.block(s.Body)
+		r.emit("%s:", skip)
+	case "loop":
+		ctr := r.nextLabel("fz_lc")
+		top := r.nextLabel("fz_lt")
+		fmt.Fprintf(&r.data, "%s: .word 0\n", ctr)
+		n := s.Count
+		if n < 1 {
+			n = 1
+		}
+		r.emit("    mov esi, %d", n)
+		r.emit("    mov [%s], esi", ctr)
+		r.emit("%s:", top)
+		r.block(s.Body)
+		r.emit("    mov esi, [%s]", ctr)
+		r.emit("    dec esi")
+		r.emit("    mov [%s], esi", ctr)
+		r.emit("    jnz %s", top)
+	case "div":
+		r.emit("    xor edx, edx")
+		r.emit("    or %s, 1", divReg(s.R1))
+		r.emit("    div %s", divReg(s.R1))
+	case "out":
+		r.emit("    push eax")
+		r.emit("    push ebx")
+		r.emit("    mov ebx, %s", reg(s.R1))
+		r.emit("    mov eax, 3") // SysWriteU32
+		r.emit("    int 0x80")
+		r.emit("    pop ebx")
+		r.emit("    pop eax")
+	case "call":
+		if r.routines == 0 {
+			return
+		}
+		r.emit("    call fz_rtn%d", ((s.Count%r.routines)+r.routines)%r.routines)
+	case "icall":
+		if r.routines == 0 {
+			return
+		}
+		rs := r.selector(s, uint32(rtblSize-1))
+		r.emit("    call [fz_rtbl + %s*4]", rs)
+	case "dispatch":
+		ncases := len(s.Cases)
+		if ncases == 0 {
+			return
+		}
+		tbl := r.nextLabel("fz_dt")
+		end := r.nextLabel("fz_de")
+		// Pad the jump table to a power of two so the mask is exact.
+		size := 1
+		for size < ncases {
+			size <<= 1
+		}
+		rs := r.selector(s, uint32(size-1))
+		r.emit("    jmp [%s + %s*4]", tbl, rs)
+		labels := make([]string, size)
+		for i := 0; i < size; i++ {
+			labels[i] = fmt.Sprintf("%s_c%d", tbl, i%ncases)
+		}
+		for i, c := range s.Cases {
+			r.emit("%s_c%d:", tbl, i)
+			r.block(c)
+			r.emit("    jmp %s", end)
+		}
+		r.emit("%s:", end)
+		fmt.Fprintf(&r.data, "%s: .word %s\n", tbl, strings.Join(labels, ", "))
+	case "fault":
+		// Guarded: the protected page is read only on the final outer
+		// iteration, so the loops stay hot first and the fault sequence is
+		// still deterministic.
+		skip := r.nextLabel("fz_nf")
+		r.emit("    mov esi, [fz_outer]")
+		r.emit("    cmp esi, 1")
+		r.emit("    jnz %s", skip)
+		r.emit("    mov esi, [%d]", GuardPage)
+		r.emit("%s:", skip)
+	}
+}
+
+func (r *renderer) block(ss []Stmt) {
+	for _, s := range ss {
+		r.stmt(s)
+	}
+}
+
+// rtblSize is the (power of two) routine-table size; routines repeat to fill.
+const rtblSize = 8
+
+// Render lowers the program to assembly source for internal/asm.
+func Render(p *Prog) string {
+	var r renderer
+	r.routines = len(p.Routines)
+	outer := p.Outer
+	if outer < 1 {
+		outer = 1
+	}
+	r.emit(".org 0x1000")
+	r.emit(".entry fz_start")
+	r.emit("fz_start:")
+	if p.Fault {
+		r.emit("    mov eax, 7") // SysSetFaultHandler
+		r.emit("    mov ebx, fz_handler")
+		r.emit("    int 0x80")
+	}
+	// Seed-derived initial register file.
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed))
+	for _, name := range fuzzRegs {
+		r.emit("    mov %s, %d", name, rng.Uint32())
+	}
+	r.emit("fz_outer_top:")
+	r.block(p.Body)
+	r.emit("    mov esi, [fz_outer]")
+	r.emit("    dec esi")
+	r.emit("    mov [fz_outer], esi")
+	r.emit("    jnz fz_outer_top")
+	// Epilogue: print the accumulator, exit with a register-derived code.
+	r.emit("    mov eax, 3")
+	r.emit("    mov ebx, [fz_sum]")
+	r.emit("    int 0x80")
+	r.emit("    mov eax, 1") // SysExit
+	r.emit("    mov ebx, ecx")
+	r.emit("    and ebx, 127")
+	r.emit("    int 0x80")
+	if p.Fault {
+		// Handler frame: [esp]=kind, [esp+4]=address, [esp+8]=faulting EIP.
+		// The EIP is printed, making fault translation load-bearing: under
+		// the runtime it matches the native run only because the cache
+		// context was rewound to application form.
+		r.emit("fz_handler:")
+		r.emit("    mov eax, 3")
+		r.emit("    mov ebx, [esp]")
+		r.emit("    int 0x80")
+		r.emit("    mov ebx, [esp+4]")
+		r.emit("    int 0x80")
+		r.emit("    mov ebx, [esp+8]")
+		r.emit("    int 0x80")
+		r.emit("    mov eax, 1")
+		r.emit("    mov ebx, 42")
+		r.emit("    int 0x80")
+	}
+	for i, body := range p.Routines {
+		r.emit("fz_rtn%d:", i)
+		r.block(body)
+		r.emit("    ret")
+	}
+
+	var b strings.Builder
+	b.WriteString(r.text.String())
+	fmt.Fprintf(&b, "\n.org 0x400000\n")
+	fmt.Fprintf(&b, "fz_outer: .word %d\n", outer)
+	fmt.Fprintf(&b, "fz_sel: .word %d\n", uint32(p.Seed)&0xFFFF)
+	fmt.Fprintf(&b, "fz_sum: .word 0\n")
+	fmt.Fprintf(&b, "fz_arr: .space 256\n")
+	if len(p.Routines) > 0 {
+		entries := make([]string, rtblSize)
+		for i := range entries {
+			entries[i] = fmt.Sprintf("fz_rtn%d", i%len(p.Routines))
+		}
+		fmt.Fprintf(&b, "fz_rtbl: .word %s\n", strings.Join(entries, ", "))
+	}
+	b.WriteString(r.data.String())
+	return b.String()
+}

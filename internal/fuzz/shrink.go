@@ -1,0 +1,320 @@
+package fuzz
+
+import "encoding/json"
+
+// The delta-debugging shrinker: given a failing program and a predicate that
+// re-checks failure, it greedily applies reductions — statement removal,
+// compound-statement flattening, loop-count and outer-count reduction,
+// operand simplification — keeping each edit only if the program still
+// fails, until a fixpoint or the evaluation budget is reached. Reductions
+// can never make a program invalid: register and routine indices are
+// normalized at render time, empty bodies and one-iteration loops are legal.
+
+// clone deep-copies a program through its JSON form (the same round-trip
+// corpus entries take, so a shrunk program replays exactly as stored).
+func clone(p *Prog) *Prog {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		panic(err) // Prog contains only plain data; cannot happen
+	}
+	var out Prog
+	if err := json.Unmarshal(raw, &out); err != nil {
+		panic(err)
+	}
+	return &out
+}
+
+// blocks visits every statement slice in the program (body, routines, loop
+// and if bodies, dispatch cases) and offers the visitor a chance to replace
+// it. Visiting order is deterministic.
+func blocks(p *Prog, visit func(get func() []Stmt, set func([]Stmt)) bool) bool {
+	var walk func(ss *[]Stmt) bool
+	walk = func(ss *[]Stmt) bool {
+		if visit(func() []Stmt { return *ss }, func(n []Stmt) { *ss = n }) {
+			return true
+		}
+		for i := range *ss {
+			if walk(&(*ss)[i].Body) {
+				return true
+			}
+			for c := range (*ss)[i].Cases {
+				if walk(&(*ss)[i].Cases[c]) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if walk(&p.Body) {
+		return true
+	}
+	for i := range p.Routines {
+		if walk(&p.Routines[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// shrinker carries the failure predicate and the evaluation budget.
+type shrinker struct {
+	failing func(*Prog) bool
+	evals   int
+}
+
+func (s *shrinker) still(p *Prog) bool {
+	if s.evals <= 0 {
+		return false
+	}
+	s.evals--
+	return s.failing(p)
+}
+
+// tryEdit applies edit to a copy of p and commits it if the copy still
+// fails, reporting whether it committed.
+func (s *shrinker) tryEdit(p *Prog, edit func(*Prog)) bool {
+	cand := clone(p)
+	edit(cand)
+	if !s.still(cand) {
+		return false
+	}
+	*p = *cand
+	return true
+}
+
+// removeStmts tries deleting chunks of statements from every block, largest
+// chunks first (classic ddmin granularity), then single statements.
+func (s *shrinker) removeStmts(p *Prog) bool {
+	progress := false
+	for _, chunk := range []int{8, 4, 2, 1} {
+		for {
+			removed := false
+			// Enumerate (block index, offset) pairs lazily: each attempt
+			// re-walks because a successful removal renumbers everything.
+			type cut struct{ block, off, n int }
+			var cuts []cut
+			bi := 0
+			blocks(p, func(get func() []Stmt, _ func([]Stmt)) bool {
+				ss := get()
+				for off := 0; off < len(ss); off += chunk {
+					n := chunk
+					if off+n > len(ss) {
+						n = len(ss) - off
+					}
+					cuts = append(cuts, cut{bi, off, n})
+				}
+				bi++
+				return false
+			})
+			for _, c := range cuts {
+				ok := s.tryEdit(p, func(q *Prog) {
+					i := 0
+					blocks(q, func(get func() []Stmt, set func([]Stmt)) bool {
+						if i == c.block {
+							ss := get()
+							if c.off < len(ss) {
+								end := c.off + c.n
+								if end > len(ss) {
+									end = len(ss)
+								}
+								set(append(ss[:c.off:c.off], ss[end:]...))
+							}
+							return true
+						}
+						i++
+						return false
+					})
+				})
+				if ok {
+					removed, progress = true, true
+					break // indices shifted; re-enumerate
+				}
+			}
+			if !removed || s.evals <= 0 {
+				break
+			}
+		}
+	}
+	return progress
+}
+
+// flatten tries replacing each compound statement (loop, if, dispatch) with
+// its body or one of its cases.
+func (s *shrinker) flatten(p *Prog) bool {
+	progress := false
+	for {
+		changed := false
+		type site struct{ block, idx, variant int }
+		var sites []site
+		bi := 0
+		blocks(p, func(get func() []Stmt, _ func([]Stmt)) bool {
+			for i, st := range get() {
+				switch st.Kind {
+				case "loop", "if":
+					sites = append(sites, site{bi, i, -1})
+				case "dispatch":
+					for v := range st.Cases {
+						sites = append(sites, site{bi, i, v})
+					}
+				}
+			}
+			bi++
+			return false
+		})
+		for _, at := range sites {
+			ok := s.tryEdit(p, func(q *Prog) {
+				i := 0
+				blocks(q, func(get func() []Stmt, set func([]Stmt)) bool {
+					if i == at.block {
+						ss := get()
+						if at.idx < len(ss) {
+							var repl []Stmt
+							if at.variant >= 0 && at.variant < len(ss[at.idx].Cases) {
+								repl = ss[at.idx].Cases[at.variant]
+							} else {
+								repl = ss[at.idx].Body
+							}
+							out := append(ss[:at.idx:at.idx], repl...)
+							set(append(out, ss[at.idx+1:]...))
+						}
+						return true
+					}
+					i++
+					return false
+				})
+			})
+			if ok {
+				changed, progress = true, true
+				break
+			}
+		}
+		if !changed || s.evals <= 0 {
+			break
+		}
+	}
+	return progress
+}
+
+// reduceCounts tries lowering the outer-loop count and every inner-loop
+// count, and clearing the fault flag.
+func (s *shrinker) reduceCounts(p *Prog) bool {
+	progress := false
+	for _, outer := range []int{32, 16, 8, 4, 2, 1} {
+		if p.Outer > outer && s.tryEdit(p, func(q *Prog) { q.Outer = outer }) {
+			progress = true
+		}
+	}
+	if p.Fault && s.tryEdit(p, func(q *Prog) { q.Fault = false }) {
+		progress = true
+	}
+	bi := 0
+	blocks(p, func(get func() []Stmt, _ func([]Stmt)) bool {
+		for i, st := range get() {
+			if st.Kind == "loop" && st.Count > 1 {
+				at, idx := bi, i
+				if s.tryEdit(p, func(q *Prog) {
+					j := 0
+					blocks(q, func(g func() []Stmt, set func([]Stmt)) bool {
+						if j == at {
+							ss := g()
+							if idx < len(ss) {
+								ss[idx].Count = 1
+								set(ss)
+							}
+							return true
+						}
+						j++
+						return false
+					})
+				}) {
+					progress = true
+				}
+			}
+		}
+		bi++
+		return false
+	})
+	return progress
+}
+
+// simplifyOperands tries zeroing immediates and register indices.
+func (s *shrinker) simplifyOperands(p *Prog) bool {
+	progress := false
+	bi := 0
+	blocks(p, func(get func() []Stmt, _ func([]Stmt)) bool {
+		for i, st := range get() {
+			edits := []func(*Stmt){}
+			if st.Imm > 1 {
+				edits = append(edits, func(x *Stmt) { x.Imm = 1 })
+			}
+			if st.R1 != 0 {
+				edits = append(edits, func(x *Stmt) { x.R1 = 0 })
+			}
+			if st.R2 > 1 {
+				edits = append(edits, func(x *Stmt) { x.R2 = 1 })
+			}
+			for _, e := range edits {
+				at, idx, edit := bi, i, e
+				if s.tryEdit(p, func(q *Prog) {
+					j := 0
+					blocks(q, func(g func() []Stmt, set func([]Stmt)) bool {
+						if j == at {
+							ss := g()
+							if idx < len(ss) {
+								edit(&ss[idx])
+								set(ss)
+							}
+							return true
+						}
+						j++
+						return false
+					})
+				}) {
+					progress = true
+				}
+			}
+		}
+		bi++
+		return false
+	})
+	return progress
+}
+
+// dropRoutines tries emptying routine bodies (indices must stay stable for
+// call statements, so routines are emptied rather than deleted).
+func (s *shrinker) dropRoutines(p *Prog) bool {
+	progress := false
+	for i := range p.Routines {
+		if len(p.Routines[i]) == 0 {
+			continue
+		}
+		idx := i
+		if s.tryEdit(p, func(q *Prog) { q.Routines[idx] = nil }) {
+			progress = true
+		}
+	}
+	return progress
+}
+
+// Shrink reduces a failing program to a (locally) minimal one that still
+// fails the predicate, evaluating it at most maxEvals times (<=0 selects the
+// default of 400). The input program is not modified; the result replays
+// identically through its JSON form.
+func Shrink(p *Prog, failing func(*Prog) bool, maxEvals int) *Prog {
+	if maxEvals <= 0 {
+		maxEvals = 400
+	}
+	out := clone(p)
+	s := &shrinker{failing: failing, evals: maxEvals}
+	for s.evals > 0 {
+		progress := s.removeStmts(out)
+		progress = s.flatten(out) || progress
+		progress = s.reduceCounts(out) || progress
+		progress = s.dropRoutines(out) || progress
+		progress = s.simplifyOperands(out) || progress
+		if !progress {
+			break
+		}
+	}
+	return out
+}

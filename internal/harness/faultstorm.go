@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"slices"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/oracle"
 	"repro/internal/workload"
 )
 
@@ -113,114 +113,12 @@ func BuildSchedules(b *workload.Benchmark, seeds []int64) ([]FaultSchedule, erro
 	return schedules, nil
 }
 
-// FaultEvent is one delivered fault in comparable form.
-type FaultEvent struct {
-	Thread int               `json:"thread"`
-	Kind   machine.FaultKind `json:"kind"`
-	EIP    machine.Addr      `json:"eip"`
-	Addr   machine.Addr      `json:"addr"`
-}
-
-// stormThreadState is one thread's architectural endpoint. EIP is excluded
-// for the same reason as the eviction oracle (threads that run to completion
-// halt inside cache code, whose address depends on the configuration); the
-// faulting EIPs are compared through the fault trace instead, where they must
-// be native application addresses.
-type stormThreadState struct {
-	Regs   [8]uint32
-	Eflags uint32
-	Halted bool
-	Exit   int32
-}
-
-// stormState is everything a fault schedule's outcome must agree on across
-// configurations.
-type stormState struct {
-	Threads  []stormThreadState
-	Output   string
-	Digest   uint64
-	Syscalls []machine.SyscallRecord
-	Faults   []FaultEvent
-}
-
-// stormDeadStackBand mirrors the eviction oracle: memory below each thread's
-// final ESP is dead (the runtime's mangled pushes legitimately leave
-// different garbage there than native dead pushes) and is zeroed before
-// digesting. Live stack at or above ESP is fully compared.
-const stormDeadStackBand = 256 << 10
-
-func captureStormState(m *machine.Machine) stormState {
-	zeros := make([]byte, 4096)
-	for _, t := range m.Threads {
-		esp := t.CPU.R[4]
-		lo := esp - stormDeadStackBand
-		if lo > esp {
-			lo = 0 // underflow
-		}
-		for a := lo; a < esp; a += uint32(len(zeros)) {
-			n := esp - a
-			if n > uint32(len(zeros)) {
-				n = uint32(len(zeros))
-			}
-			m.Mem.WriteBytes(a, zeros[:n])
-		}
-	}
-	s := stormState{
-		Output:   string(m.Output),
-		Digest:   m.Mem.Digest(0, core.RuntimeBase),
-		Syscalls: m.SyscallTrace,
-	}
-	for _, t := range m.Threads {
-		s.Threads = append(s.Threads, stormThreadState{
-			Regs:   t.CPU.R,
-			Eflags: t.CPU.Eflags,
-			Halted: t.Halted,
-			Exit:   t.ExitCode,
-		})
-		// A thread killed by an unhandled fault records it; fold the record
-		// into the compared fault stream via the machine-level trace below.
-	}
-	for _, f := range m.FaultTrace {
-		s.Faults = append(s.Faults, FaultEvent{Thread: f.Thread, Kind: f.Kind, EIP: f.EIP, Addr: f.Addr})
-	}
-	// Unhandled faults on threads with no handler never reach FaultTrace in
-	// untranslatable corners; fold per-thread records not already present.
-	for _, t := range m.Threads {
-		if f := t.FaultRecord; f != nil {
-			ev := FaultEvent{Thread: f.Thread, Kind: f.Kind, EIP: f.EIP, Addr: f.Addr}
-			if !slices.Contains(s.Faults, ev) {
-				s.Faults = append(s.Faults, ev)
-			}
-		}
-	}
-	return s
-}
-
-func stormStatesEqual(a, b stormState) bool {
-	return slices.Equal(a.Threads, b.Threads) &&
-		a.Output == b.Output &&
-		a.Digest == b.Digest &&
-		slices.Equal(a.Syscalls, b.Syscalls) &&
-		slices.Equal(a.Faults, b.Faults)
-}
-
-// stormMismatch names the first differing component, for diagnostics.
-func stormMismatch(a, b stormState) string {
-	switch {
-	case !slices.Equal(a.Faults, b.Faults):
-		return fmt.Sprintf("fault trace %v != native %v", b.Faults, a.Faults)
-	case a.Output != b.Output:
-		return fmt.Sprintf("output %q != native %q", b.Output, a.Output)
-	case !slices.Equal(a.Syscalls, b.Syscalls):
-		return "syscall trace diverged"
-	case !slices.Equal(a.Threads, b.Threads):
-		return fmt.Sprintf("thread state %+v != native %+v", b.Threads, a.Threads)
-	case a.Digest != b.Digest:
-		return "application memory digest diverged"
-	default:
-		return ""
-	}
-}
+// FaultEvent is one delivered fault in comparable form. The capture and
+// comparison of the full architectural endpoint (thread states, output,
+// memory digest, syscall trace, fault sequence, dead-stack-band zeroing)
+// live in internal/oracle, shared with the eviction and IBL differential
+// oracles and the differential fuzzer.
+type FaultEvent = oracle.FaultEvent
 
 // StormConfig is one runtime column of the differential.
 type StormConfig struct {
@@ -309,7 +207,7 @@ func runStormSchedule(b *workload.Benchmark, sched FaultSchedule, configs []Stor
 	if err := nm.Run(runLimit); err != nil {
 		return res, fmt.Errorf("faultstorm: native faulted %s seed %d: %v", b.Name, sched.Seed, err)
 	}
-	want := captureStormState(nm)
+	want := oracle.Capture(nm)
 	res.Faults = want.Faults
 
 	for _, cfg := range configs {
@@ -319,12 +217,12 @@ func runStormSchedule(b *workload.Benchmark, sched FaultSchedule, configs []Stor
 		if err := r.Run(runLimit); err != nil {
 			return res, fmt.Errorf("faultstorm: %s seed %d under %s: %v", b.Name, sched.Seed, cfg.Name, err)
 		}
-		got := captureStormState(m)
+		got := oracle.Capture(m)
 		stats := r.StatsSnapshot()
 		res.Outcomes = append(res.Outcomes, StormOutcome{
 			Config:           cfg.Name,
-			Match:            stormStatesEqual(want, got),
-			Mismatch:         stormMismatch(want, got),
+			Match:            oracle.Equal(want, got),
+			Mismatch:         oracle.Mismatch(want, got),
 			FaultsTranslated: stats.FaultsTranslated,
 			Detaches:         stats.Detaches,
 			Evictions:        stats.Evictions,
