@@ -15,6 +15,9 @@
 //	drbench -iblsweep -json BENCH_iblsweep.json
 //	drbench -faultstorm          # fault-injection differential: 22 benchmarks x seeds x configs
 //	drbench -faultstorm -seeds 101,202,303 -json BENCH_faultstorm.json
+//	drbench -chaosstorm          # internal-fault-injection differential: cases x chaos schedules x configs
+//	drbench -chaosstorm -chaos-seeds 101,202,303 -json BENCH_chaosstorm.json
+//	drbench -chaosstorm -chaos-sites emit,ibl-insert   # restrict the injected sites
 //	drbench -profile             # where-the-cycles-go: phase accounting + hottest fragments
 //	drbench -profile -json BENCH_profile.json
 //	drbench -profile -ring 4096 -trace-out BENCH_events.jsonl   # runtime event trace
@@ -35,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/harness"
@@ -51,6 +55,9 @@ func main() {
 		iblsweep   = flag.Bool("iblsweep", false, "run the indirect-branch lookup sweep (benchmarks x IBL configuration ladder)")
 		faultstorm = flag.Bool("faultstorm", false, "run the fault-injection differential (benchmarks x seeded schedules x cache configs)")
 		seedsFlag  = flag.String("seeds", "101,202,303", "comma-separated schedule seeds for -faultstorm")
+		chaosstorm = flag.Bool("chaosstorm", false, "run the internal-fault-injection differential (cases x seeded chaos schedules x cache configs)")
+		chaosSeeds = flag.String("chaos-seeds", "101,202,303", "comma-separated schedule seeds for -chaosstorm")
+		chaosSites = flag.String("chaos-sites", "", "comma-separated chaos site subset for -chaosstorm (empty = every site)")
 		all        = flag.Bool("all", false, "reproduce everything")
 		verify     = flag.Bool("verify", false, "run the transparency matrix: every benchmark under every configuration, checking output equality")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset for -figure5 and -cachesweep")
@@ -73,7 +80,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the drained -profile event trace as JSONL to this path (implies -ring 4096 unless set)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*iblsweep && !*faultstorm && !*fuzzFlag && !*profile && !*all && !*verify {
+	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*iblsweep && !*faultstorm && !*chaosstorm && !*fuzzFlag && !*profile && !*all && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -189,6 +196,7 @@ func main() {
 		}
 	}
 
+	faultstormJSONWritten := false
 	if *faultstorm || *all {
 		seeds, err := parseSeeds(*seedsFlag)
 		if err != nil {
@@ -220,7 +228,51 @@ func main() {
 				fmt.Fprintln(os.Stderr, "drbench:", err)
 				os.Exit(1)
 			}
+			faultstormJSONWritten = true
 			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+
+	if *chaosstorm || *all {
+		seeds, err := parseSeeds(*chaosSeeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		sites, err := parseSites(*chaosSites)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		configs := harness.DefaultChaosConfigs()
+		start := time.Now()
+		rows, err := harness.ChaosStorm(*parallel, benches, seeds, sites, configs)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		requireResults("chaosstorm", len(rows))
+		fmt.Print(harness.FormatChaosStorm(seeds, configs, rows))
+		failed := false
+		for _, r := range rows {
+			if !r.Passed() {
+				failed = true
+			}
+		}
+		if *jsonPath != "" {
+			path := *jsonPath
+			if figure5JSONWritten || cachesweepJSONWritten || iblsweepJSONWritten || faultstormJSONWritten {
+				path += ".chaosstorm.json" // several matrices requested: keep all files
+			}
+			if err := writeChaosJSON(path, seeds, rows, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d cases, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
 		}
 		if failed {
 			os.Exit(1)
@@ -361,6 +413,23 @@ func parseSeeds(s string) ([]int64, error) {
 		seeds = append(seeds, v)
 	}
 	return seeds, nil
+}
+
+// parseSites resolves a comma-separated chaos site list; empty means every
+// site (ChaosStorm interprets nil as all).
+func parseSites(s string) ([]chaos.Site, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var sites []chaos.Site
+	for _, part := range strings.Split(s, ",") {
+		site, ok := chaos.ParseSite(strings.TrimSpace(part))
+		if !ok {
+			return nil, fmt.Errorf("unknown chaos site %q", part)
+		}
+		sites = append(sites, site)
+	}
+	return sites, nil
 }
 
 func benchList(names []string) ([]*workload.Benchmark, error) {
@@ -626,6 +695,44 @@ func writeStormJSON(path string, seeds []int64, rows []harness.StormRow, workers
 		Workers:          workers,
 		WallClockSeconds: elapsed.Seconds(),
 		Seeds:            seeds,
+		Rows:             rows,
+	}
+	for _, r := range rows {
+		if r.Passed() {
+			out.Passed++
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// chaosJSON is the file layout of -chaosstorm -json: per (case, chaos
+// schedule) the trigger recipe, the riding machine-fault plans, and each
+// runtime configuration's match verdict with the recovery-ladder counters
+// (fires, recoveries, audit failures, degrade level, re-attaches), plus the
+// suite-wide per-site fire totals CI checks for coverage.
+type chaosJSON struct {
+	Schema           string             `json:"schema"`
+	Workers          int                `json:"workers"`
+	WallClockSeconds float64            `json:"wall_clock_seconds"`
+	Seeds            []int64            `json:"seeds"`
+	SiteFires        map[string]uint64  `json:"site_fires"`
+	Reattaches       uint64             `json:"reattaches"`
+	Rows             []harness.ChaosRow `json:"rows"`
+	Passed           int                `json:"passed"`
+}
+
+func writeChaosJSON(path string, seeds []int64, rows []harness.ChaosRow, workers int, elapsed time.Duration) error {
+	out := chaosJSON{
+		Schema:           "drbench/chaos/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+		Seeds:            seeds,
+		SiteFires:        harness.ChaosSiteTotals(rows),
+		Reattaches:       harness.ChaosReattachTotal(rows),
 		Rows:             rows,
 	}
 	for _, r := range rows {

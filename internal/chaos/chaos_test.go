@@ -1,0 +1,104 @@
+package chaos
+
+import "testing"
+
+func TestNthHitTrigger(t *testing.T) {
+	in := NewInjector(1, []Trigger{{Site: SiteEmit, Nth: 3, MaxFires: 2}})
+	want := []bool{false, false, true, true, false, false}
+	for i, w := range want {
+		if got := in.Fire(SiteEmit); got != w {
+			t.Fatalf("hit %d: fire=%v, want %v", i+1, got, w)
+		}
+	}
+	if f := in.Fires(); f[SiteEmit] != 2 {
+		t.Fatalf("fires=%d, want 2", f[SiteEmit])
+	}
+	if h := in.Hits(); h[SiteEmit] != 6 {
+		t.Fatalf("hits=%d, want 6", h[SiteEmit])
+	}
+	if !in.Exhausted() {
+		t.Fatal("injector should be exhausted after MaxFires")
+	}
+}
+
+func TestSiteIsolation(t *testing.T) {
+	in := NewInjector(1, []Trigger{{Site: SiteLink, Nth: 1}})
+	if in.Fire(SiteUnlink) {
+		t.Fatal("trigger for link fired on unlink")
+	}
+	if !in.Fire(SiteLink) {
+		t.Fatal("trigger for link did not fire on its first hit")
+	}
+}
+
+func TestProbabilityTriggerDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := NewInjector(42, []Trigger{{Site: SiteEvictScrub, Prob: 0.3, MaxFires: 5}})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = in.Fire(SiteEvictScrub)
+		}
+		return out
+	}
+	a, b := run(), run()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical seeds", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 {
+		t.Fatal("probability trigger never fired in 50 hits at p=0.3")
+	}
+	if fires > 5 {
+		t.Fatalf("fired %d times, cap is 5", fires)
+	}
+}
+
+func TestScheduleDeterministicAndBounded(t *testing.T) {
+	a := Schedule(7, AllSites())
+	b := Schedule(7, AllSites())
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trigger %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Every trigger must have a bounded fire budget, or a deterministic
+	// failure would retry forever and the ladder could never re-attach.
+	total := 0
+	for _, tr := range a {
+		max := tr.MaxFires
+		if max <= 0 {
+			max = 1
+		}
+		total += max
+	}
+	if total == 0 || total > 10*len(a) {
+		t.Fatalf("implausible total fire budget %d for %d triggers", total, len(a))
+	}
+}
+
+func TestParseSiteRoundTrip(t *testing.T) {
+	for _, s := range AllSites() {
+		got, ok := ParseSite(s.String())
+		if !ok || got != s {
+			t.Fatalf("ParseSite(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := ParseSite("no-such-site"); ok {
+		t.Fatal("ParseSite accepted an unknown name")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire(SiteDispatch) {
+		t.Fatal("nil injector fired")
+	}
+}

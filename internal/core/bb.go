@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
@@ -113,6 +114,7 @@ func (r *RIO) buildBB(ctx *Context, tag machine.Addr) *Fragment {
 	if err != nil {
 		panic(err)
 	}
+	r.chaosPoint(chaos.SiteBlockBuild, tag)
 	spans := r.spansFor(tag, end)
 	statInc(&r.Stats.BlocksBuilt)
 	cost := r.Opts.Cost

@@ -89,6 +89,16 @@ type ThreadDetachHook interface {
 	ThreadDetach(ctx *Context, tag machine.Addr, cause string)
 }
 
+// ThreadReattachHook is called when a degraded thread returns to full
+// service after a clean native cool-down — the recovery counterpart of
+// ThreadDetach: earlier internal failures walked the thread down the
+// degradation ladder, a failure-free stretch walked it back up, and it now
+// builds fragments again. tag is the application PC whose dispatch
+// completed the re-attach.
+type ThreadReattachHook interface {
+	ThreadReattach(ctx *Context, tag machine.Addr)
+}
+
 // EndTraceDecision is a client's answer to dynamorio_end_trace.
 type EndTraceDecision int
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/ia32"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -171,6 +172,19 @@ type Context struct {
 	// intercepts its control flow or signals.
 	detached bool
 
+	// Degradation-ladder state (recover.go): the thread's health level,
+	// its consecutive-failure streak against the current level's retry
+	// budget, the dispatch entry of the last failure (the cool-down
+	// reference point), a dispatch-entry counter (the ladder's clock),
+	// per-tag quarantine/backoff records, and the application PC a native
+	// cool-down window resumes the dispatcher at.
+	health        HealthLevel
+	failStreak    int
+	lastFailEntry uint64
+	dispatchCount uint64
+	quar          map[machine.Addr]*quarRecord
+	windowResume  machine.Addr
+
 	// localNext is the thread-private runtime heap bump pointer.
 	localNext machine.Addr
 
@@ -326,6 +340,21 @@ func (c *Context) invalidateTag(tag machine.Addr) {
 	if f == nil {
 		return
 	}
+	r := c.rio
+	txn := r.txnMark()
+	r.txnPush(func() {
+		// Roll FORWARD: an invalidation interrupted midway (a chaos point
+		// inside the unlink walk) finishes rather than resurrects — the
+		// source code is known stale, so the chain must die. killFragment
+		// is idempotent on dead fragments.
+		if cur := c.frags[tag]; cur != nil {
+			for x := cur; x != nil; x = x.shadowedBy {
+				c.killFragment(x)
+			}
+			delete(c.frags, tag)
+			c.tableRemove(tag)
+		}
+	})
 	for cur := f; cur != nil; cur = cur.shadowedBy {
 		c.killFragment(cur)
 	}
@@ -334,6 +363,7 @@ func (c *Context) invalidateTag(tag machine.Addr) {
 	if c.lastExit != nil && (c.lastExit.Owner == f || c.lastExit.Owner == f.shadowedBy) {
 		c.lastExit = nil
 	}
+	r.txnCommit(txn)
 }
 
 // InvalidateRange discards every fragment built from code overlapping
@@ -408,10 +438,16 @@ func (c *Context) tableInsert(tag, dest machine.Addr) {
 		}
 		mem.Write32(slot, tag)
 		mem.Write32(slot+4, dest)
+		// The chaos point sits after the write on purpose: an insert that
+		// fires here has fully happened, so a rollback that forgets to
+		// scrub it (Options.BreakRollback) leaves a stale slot the
+		// invariant audit must catch.
+		c.rio.chaosPoint(chaos.SiteIBLInsert, tag)
 		return
 	}
 	for {
 		if c.tryTableInsert(tag, dest) {
+			c.rio.chaosPoint(chaos.SiteIBLInsert, tag)
 			return
 		}
 		// The table is at its load ceiling and cannot grow: evict the
@@ -477,9 +513,13 @@ func (c *Context) iblMakeRoom(tag machine.Addr) {
 	}
 }
 
-// canGrowIBL reports whether the hashtable may double once more.
+// canGrowIBL reports whether the hashtable may double once more. A thread
+// degraded to HealthFixedIBL (or below) has lost growth privileges: resize
+// was implicated in its failures, so it runs on the fixed-size policy until
+// it re-attaches.
 func (c *Context) canGrowIBL() bool {
-	return c.rio.Opts.IBLAdaptive && c.tableBits < maxIBLTableBits
+	return c.rio.Opts.IBLAdaptive && c.tableBits < maxIBLTableBits &&
+		c.health < HealthFixedIBL
 }
 
 // growIBLTable doubles the hashtable (Kistler & Franz's perpetual-adaptation
@@ -500,9 +540,28 @@ func (c *Context) growIBLTable() {
 			entries = append(entries, iblEntry{tag, mem.Read32(slot + 4)})
 		}
 	}
-	c.tableBits++
-	c.tableMask = 1<<c.tableBits - 1
+	newBits := c.tableBits + 1
+	txn := r.txnMark()
+	r.txnPush(func() {
+		// Roll the resize FORWARD: rebuild deterministically at the new
+		// size from the pre-collected entries (rolling back to the old
+		// size would re-trip the growth condition on reinsertion). No
+		// recursion: the live count fits the old capacity, under half the
+		// new one.
+		c.tableBits = newBits
+		c.tableMask = 1<<newBits - 1
+		c.clearIBLTable()
+		for _, e := range entries {
+			if !c.tryTableInsert(e.tag, e.dest) {
+				panic("core: IBL rehash overflow")
+			}
+		}
+		r.writeIBLRoutines(c)
+	})
+	c.tableBits = newBits
+	c.tableMask = 1<<newBits - 1
 	c.clearIBLTable()
+	r.chaosPoint(chaos.SiteIBLResize, 0)
 	for _, e := range entries {
 		// Cannot recurse: the load factor just halved.
 		if !c.tryTableInsert(e.tag, e.dest) {
@@ -517,6 +576,31 @@ func (c *Context) growIBLTable() {
 	})
 	c.pendingIBLResized = append(c.pendingIBLResized,
 		iblResizedEvent{oldEntries: int(oldCap), newEntries: int(c.tableMask + 1)})
+	r.txnCommit(txn)
+}
+
+// undoRegister reverses register(f): the fragment-map update and the IBL
+// insert. prev is the tag's owner from before the registration.
+func (c *Context) undoRegister(f *Fragment, prev *Fragment) {
+	switch cur := c.frags[f.Tag]; {
+	case cur == f:
+		delete(c.frags, f.Tag)
+		if prev != nil && prev != f && !prev.dead {
+			c.frags[f.Tag] = prev
+		}
+	case cur != nil && cur.shadowedBy == f:
+		cur.shadowedBy = nil
+	}
+	if c.rio.Opts.BreakRollback {
+		// Mutation-testing lever: deliberately forget the IBL scrub so the
+		// post-rollback invariant audit has a real defect to catch (a slot
+		// mapping the tag to the rolled-back fragment's entry).
+		return
+	}
+	c.tableRemove(f.Tag)
+	if prev != nil && !prev.dead {
+		c.tableInsert(prev.Tag, prev.Entry)
+	}
 }
 
 // clearIBLTable marks every slot of the current table span empty.
@@ -622,6 +706,11 @@ func (c *Context) allocCache(kind FragmentKind, n int) machine.Addr {
 // dispatcher was entered through belongs to flushed code and must not be
 // patched afterwards.
 func (c *Context) flushForReuse() {
+	// A wholesale flush has no incremental repair (it is not one of the
+	// transactional boundaries): suppress injection across it rather than
+	// leave a half-flushed cache no rollback could reconcile.
+	c.rio.chaosSuppress++
+	defer func() { c.rio.chaosSuppress-- }()
 	c.FlushAll()
 	c.bb.reset()
 	c.trace.reset()

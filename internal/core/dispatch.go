@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/ia32"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -84,18 +85,28 @@ func (r *RIO) onCleanCall(t *machine.Thread) (machine.TrapAction, error) {
 // application target, find or build its fragment, maintain trace state,
 // link the exit we came from, and re-enter the code cache.
 //
-// Any internal failure below — undecodable code during fragment
-// construction, an emit or cache-allocator panic, a violated invariant —
-// is caught here and turned into a thread detach: the application context
-// is already native at every dispatch entry, so the thread continues under
-// plain interpretation instead of crashing the process (graceful
-// degradation, the robustness half of the paper's Section 3).
+// Any internal failure below — an injected chaos fault, undecodable code
+// during fragment construction, an emit or cache-allocator panic, a
+// violated invariant — is caught here and handed to the transactional
+// recovery path (recover.go): the in-flight mutations are rolled back, the
+// cache invariants audited, and the thread resumes through the degradation
+// ladder — or detaches for good if the audit fails. The application context
+// is already native at every dispatch entry, so either way the thread
+// continues instead of crashing the process (graceful degradation, the
+// robustness half of the paper's Section 3).
 func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			act, err = r.detach(ctx, tag, p)
+			act, err = r.recoverDispatch(ctx, tag, p)
 		}
 	}()
+	// A dispatch entry cancels any native cool-down window in flight (a
+	// fault handler can re-enter the dispatcher mid-window): the watch
+	// must never expire while the thread is inside cache or runtime code.
+	ctx.thread.DisarmWatch()
+	ctx.dispatchCount++
+	r.inDispatch++
+	defer func() { r.inDispatch-- }()
 	// The modeled dispatch cost is the context switch into the runtime;
 	// the rest of the dispatcher's work charges as dispatch proper unless
 	// a mechanism below (block build, trace build, eviction, translation)
@@ -111,6 +122,7 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 	if h := r.Opts.InternalFaultHook; h != nil && h(ctx, tag) {
 		panic(fmt.Sprintf("core: injected internal fault at %#x", tag))
 	}
+	r.chaosPoint(chaos.SiteDispatch, tag)
 
 	// Safe point: deliver deferred deletion events, sideline work and
 	// signals.
@@ -129,6 +141,15 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 		ctx.selUnlinked = nil
 	}
 
+	// Degradation ladder: a clean stretch steps health back toward full
+	// service; an interpret-only thread — and any quarantined or
+	// backed-off tag — runs in bounded native windows instead of the
+	// cache.
+	r.maybeStepUp(ctx, tag)
+	if ctx.health == HealthInterpret || ctx.tagBlocked(tag) {
+		return r.nativeWindow(ctx, tag)
+	}
+
 	if ctx.selecting {
 		if done := r.traceSelectionStep(ctx, tag); done {
 			// Trace ended (and was built); fall through to normal
@@ -139,9 +160,11 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 			if f == nil {
 				f = r.buildBB(ctx, tag)
 			}
+			// Record the fragment before unlinking it so a failure
+			// mid-unlink restores the wiring on recovery.
 			ctx.selSnapshot = snapshotLinks(f)
-			r.unlinkOutgoing(f)
 			ctx.selUnlinked = f
+			r.unlinkOutgoing(f)
 			return r.enter(ctx, f)
 		}
 	}
@@ -154,7 +177,7 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 		f.prof.iblMisses++
 	}
 
-	if r.Opts.EnableTraces && r.Opts.Mode == ModeCache {
+	if r.Opts.EnableTraces && r.Opts.Mode == ModeCache && ctx.health == HealthFull {
 		r.noteTraceHead(ctx, tag, f)
 		if ctx.isHead[tag] && f.Kind == KindBasicBlock {
 			ctx.headCounter[tag]++
@@ -165,11 +188,18 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 				ctx.selTags = ctx.selTags[:0]
 				ctx.selTags = append(ctx.selTags, tag)
 				ctx.selSnapshot = snapshotLinks(f)
-				r.unlinkOutgoing(f)
 				ctx.selUnlinked = f
+				r.unlinkOutgoing(f)
 				delete(ctx.headCounter, tag)
 				return r.enter(ctx, f)
 			}
+		}
+	}
+
+	// A tag that rebuilt and dispatched cleanly sheds its backoff record.
+	if len(ctx.quar) > 0 {
+		if q := ctx.quar[tag]; q != nil && !q.quarantined {
+			delete(ctx.quar, tag)
 		}
 	}
 
@@ -276,6 +306,10 @@ func (r *RIO) deliverDeleted(ctx *Context) {
 // target — the application-transparent equivalent of the machine's default
 // delivery, but always with a coherent application context.
 func (r *RIO) deliverSignal(ctx *Context, tag machine.Addr) machine.Addr {
+	// The chaos point precedes the dequeue: a failure injected here rolls
+	// back to "signal still queued", and the next dispatch entry delivers
+	// it — delayed, never lost.
+	r.chaosPoint(chaos.SiteSignal, tag)
 	h := ctx.pendingSignals[0]
 	ctx.pendingSignals = ctx.pendingSignals[1:]
 	cpu := &ctx.thread.CPU

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
@@ -92,7 +93,10 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 	var iblPrefix *instr.List
 	prefixLen := 0
 	if r.usesIBLPrefix() {
-		elide := r.Opts.FlagsElision &&
+		// Elision is a HealthFull/NoTraces privilege: a thread degraded to
+		// HealthFixedIBL has had optimization implicated in its failures
+		// and emits the conservative popfd form until it re-attaches.
+		elide := r.Opts.FlagsElision && ctx.health < HealthFixedIBL &&
 			(r.Opts.ForceFlagsDead || flagsDeadFrom(list.First(), nil))
 		iblPrefix = buildIBLPrefix(ctx, tag, elide)
 		n, err := iblPrefix.EncodedLen()
@@ -120,7 +124,22 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 	}
 	total := off
 
+	// Everything from the allocation to the registration is one
+	// transaction: a failure anywhere inside rolls the reserved bytes back
+	// to the allocator and the records back out of the lookup structures.
+	txn := r.txnMark()
+	stubMark := len(r.linkstubs)
 	base := ctx.allocCache(kind, total)
+	reg := ctx.region(kind)
+	allocEnd := reg.next
+	r.txnPush(func() {
+		// Return the just-reserved bytes if they are still on top of the
+		// bump allocator, and discard the exit records created below.
+		if reg.next == allocEnd {
+			reg.next = base
+		}
+		r.linkstubs = r.linkstubs[:stubMark]
+	})
 
 	f := &Fragment{
 		Tag:       tag,
@@ -239,15 +258,29 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 		}
 	}
 
+	// Mid-emit chaos point: cache bytes allocated and fully written,
+	// nothing registered yet.
+	r.chaosPoint(chaos.SiteEmit, tag)
+
 	r.chargeShared()
+	prev := ctx.frags[tag]
+	r.txnPush(func() { ctx.undoRegister(f, prev) })
 	ctx.register(f)
+	r.txnPush(func() {
+		if reg.bounded && reg.removeResident(f) {
+			reg.liveBytes -= f.alignedSize()
+			ctx.updateLiveGauges()
+		}
+	})
 	ctx.noteFragment(f)
+	r.txnPush(func() { ctx.dropXl8(f) })
 	ctx.xl8Frags = append(ctx.xl8Frags, f)
 	r.noteEmitProfile(ctx, f)
 	r.event(ctx.thread.ID, obs.Event{
 		Type: obs.EvEmit, Tag: uint32(tag), Addr: uint32(base),
 		Kind: kind.String(), Size: total,
 	})
+	r.txnCommit(txn)
 	return f
 }
 
@@ -386,6 +419,7 @@ func (r *RIO) chargeShared() {
 
 // link wires exit e straight to fragment f, bypassing the dispatcher.
 func (r *RIO) link(e *Exit, f *Fragment) {
+	r.chaosPoint(chaos.SiteLink, e.Owner.Tag)
 	if f.dead {
 		// The target was invalidated (e.g. stale source code detected
 		// while this exit was temporarily unlinked for trace
@@ -434,6 +468,7 @@ func (r *RIO) linkIBL(e *Exit) {
 
 // unlink restores exit e to its dispatcher-bound stub path.
 func (r *RIO) unlink(e *Exit) {
+	r.chaosPoint(chaos.SiteUnlink, e.Owner.Tag)
 	if e.state != stateUnlinked {
 		r.chargeShared()
 	}

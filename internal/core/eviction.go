@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/machine"
 	"repro/internal/obs"
 )
@@ -177,22 +178,32 @@ func (reg *cacheRegion) nearestResident(a machine.Addr) *Fragment {
 	return best
 }
 
-// reclaim releases one resident fragment's bytes for reuse, evicting it
-// first if it is still live. Any runtime pointer that could lead back into
-// the reclaimed bytes (the dispatcher's last-exit record, the trace
-// selector's unlinked fragment) is cleared.
-func (c *Context) reclaim(reg *cacheRegion, f *Fragment) {
+// removeResident drops f from the region's resident set, reporting whether
+// it was present.
+func (reg *cacheRegion) removeResident(f *Fragment) bool {
 	for i, r := range reg.resident {
 		if r == f {
 			last := len(reg.resident) - 1
 			reg.resident[i] = reg.resident[last]
 			reg.resident = reg.resident[:last]
-			break
+			return true
 		}
 	}
+	return false
+}
+
+// reclaim releases one resident fragment's bytes for reuse, evicting it
+// first if it is still live. Any runtime pointer that could lead back into
+// the reclaimed bytes (the dispatcher's last-exit record, the trace
+// selector's unlinked fragment) is cleared. Eviction runs BEFORE residency
+// is dropped: if an injected failure aborts the eviction midway, a live
+// (partially unlinked) fragment that is still resident passes the invariant
+// audit, while a live non-resident one would break the byte accounting.
+func (c *Context) reclaim(reg *cacheRegion, f *Fragment) {
 	if !f.dead {
 		c.evict(f)
 	}
+	reg.removeResident(f)
 	if c.lastExit != nil && c.lastExit.Owner == f {
 		c.lastExit = nil
 	}
@@ -214,25 +225,19 @@ func (c *Context) evict(f *Fragment) {
 	prev := r.M.SetChargePhase(obs.PhaseEviction)
 	defer r.M.SetChargePhase(prev)
 	r.M.Charge(r.Opts.Cost.Evict)
-	c.killFragment(f)
-
-	switch owner := c.frags[f.Tag]; {
-	case owner == f:
-		if sh := f.shadowedBy; f.Kind == KindBasicBlock && sh != nil && !sh.dead {
-			// The shadowing trace survives its head block's eviction and
-			// now owns the tag outright (the IBL slot already maps to it).
-			c.frags[f.Tag] = sh
-		} else {
-			delete(c.frags, f.Tag)
-			c.tableRemove(f.Tag)
+	txn := r.txnMark()
+	r.txnPush(func() {
+		// Roll FORWARD: a victim that died before the failure must also
+		// leave the lookup structures (scrubEvicted is idempotent); one
+		// that never died needs no repair — it is simply still live and
+		// still resident.
+		if f.dead {
+			c.scrubEvicted(f)
 		}
-	case owner != nil && owner.shadowedBy == f:
-		// The evicted trace shadowed its head's basic block: put the
-		// block back in charge of the tag.
-		owner.shadowedBy = nil
-		c.tableInsert(f.Tag, owner.Entry)
-	}
-	delete(c.headCounter, f.Tag)
+	})
+	c.killFragment(f)
+	r.chaosPoint(chaos.SiteEvictScrub, f.Tag)
+	c.scrubEvicted(f)
 
 	if c.evicted == nil {
 		c.evicted = map[machine.Addr]uint8{}
@@ -257,6 +262,33 @@ func (c *Context) evict(f *Fragment) {
 		}
 		reg.epochEvictions, reg.epochRegens = 0, 0
 	}
+	r.txnCommit(txn)
+}
+
+// scrubEvicted removes a killed eviction victim from the lookup structures:
+// a shadowed basic block's mapping is restored when a trace dies, a
+// surviving trace is promoted when its head block dies, and the trace-head
+// counter resets so the tag must re-earn trace creation. Idempotent — the
+// eviction repair path may run it after a partial scrub.
+func (c *Context) scrubEvicted(f *Fragment) {
+	switch owner := c.frags[f.Tag]; {
+	case owner == f:
+		if sh := f.shadowedBy; f.Kind == KindBasicBlock && sh != nil && !sh.dead {
+			// The shadowing trace survives its head block's eviction and
+			// now owns the tag outright (the IBL slot already maps to it).
+			c.frags[f.Tag] = sh
+		} else {
+			delete(c.frags, f.Tag)
+			c.tableRemove(f.Tag)
+		}
+	case owner != nil && owner.shadowedBy == f:
+		// The evicted trace shadowed its head's basic block: put the block
+		// back in charge of the tag. The shadow marker clears only after
+		// the insert, so a failure inside the insert replays this case.
+		c.tableInsert(f.Tag, owner.Entry)
+		owner.shadowedBy = nil
+	}
+	delete(c.headCounter, f.Tag)
 }
 
 // growRegion raises a bounded region's capacity to at least newCap bytes,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
@@ -43,17 +44,53 @@ func (r *RIO) translateFault(t *machine.Thread, f *machine.Fault) (ok bool) {
 	if !found {
 		return false
 	}
-	// Scratch-state reconstruction can itself touch protected memory (the
-	// flags word lives on the application stack); treat a nested fault as
-	// untranslatable rather than recurse.
+	// The state fold is transactional: the CPU context is value-snapshotted
+	// first, so an injected failure mid-fold restores the snapshot and
+	// retries once with injection disarmed — the translated fault context
+	// is bit-identical either way. (A nested machine fault stays what it
+	// always was: untranslatable, no retry.)
+	saved := t.CPU
+	err := r.foldScratch(t, frag, app, scratch)
+	if _, isInj := err.(*internalFault); isInj {
+		t.CPU = saved
+		statInc(&r.Stats.Recoveries)
+		func() {
+			r.inRecovery = true
+			defer func() { r.inRecovery = false }()
+			err = r.foldScratch(t, frag, app, scratch)
+		}()
+	}
+	if err != nil {
+		return false
+	}
+	statInc(&r.Stats.FaultsTranslated)
+	r.event(t.ID, obs.Event{
+		Type: obs.EvFaultXl8, Tag: uint32(frag.Tag), Addr: uint32(pc),
+		Target: uint32(app), Kind: frag.Kind.String(),
+	})
+	return true
+}
+
+// foldScratch folds a faulting fragment's scratch state (spilled registers,
+// pushed eflags) back into the thread's CPU context and rewrites EIP to the
+// translated application PC. Scratch-state reconstruction can itself touch
+// protected memory (the flags word lives on the application stack); a nested
+// fault is reported as an error — the caller treats the fault as
+// untranslatable rather than recurse.
+func (r *RIO) foldScratch(t *machine.Thread, frag *Fragment, app machine.Addr, scratch uint8) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			if _, isFault := p.(*machine.Fault); !isFault {
+			switch pv := p.(type) {
+			case *machine.Fault:
+				err = fmt.Errorf("nested fault folding scratch state: %v", pv)
+			case *internalFault:
+				err = pv
+			default:
 				panic(p)
 			}
-			ok = false
 		}
 	}()
+	r.chaosPoint(chaos.SiteFaultXl8, frag.Tag)
 	cpu := &t.CPU
 	// The fragment's own context owns the spill slots its code was emitted
 	// against (TLS is always thread-private, even under a shared cache).
@@ -71,12 +108,7 @@ func (r *RIO) translateFault(t *machine.Thread, f *machine.Fault) (ok bool) {
 		cpu.SetReg(ia32.ECX, mem.Read32(fctx.spillAddr(offSpillECX)))
 	}
 	cpu.EIP = app
-	statInc(&r.Stats.FaultsTranslated)
-	r.event(t.ID, obs.Event{
-		Type: obs.EvFaultXl8, Tag: uint32(frag.Tag), Addr: uint32(pc),
-		Target: uint32(app), Kind: frag.Kind.String(),
-	})
-	return true
+	return nil
 }
 
 // interceptFaultDelivery is installed as the machine's FaultInterceptor: once
@@ -109,6 +141,7 @@ func (r *RIO) detach(ctx *Context, tag machine.Addr, cause any) (machine.TrapAct
 	ctx.detached = true
 	statInc(&r.Stats.Detaches)
 	t := ctx.thread
+	t.DisarmWatch() // no native-window bookkeeping for a detached thread
 	reason := fmt.Sprint(cause)
 	r.event(t.ID, obs.Event{Type: obs.EvDetach, Tag: uint32(tag), Note: reason})
 	t.CPU.EIP = tag
@@ -117,6 +150,10 @@ func (r *RIO) detach(ctx *Context, tag machine.Addr, cause any) (machine.TrapAct
 	for _, h := range pending {
 		r.M.QueueSignal(t, h)
 	}
+	// The thread never returns to the cache: reclaim its cache state now —
+	// fragments die, deferred deletion events fire (there will be no later
+	// safe point), the allocators and IBL table reset.
+	r.reclaimDetached(ctx)
 	for _, cl := range r.Clients {
 		if h, hok := cl.(ThreadDetachHook); hok {
 			h.ThreadDetach(ctx, tag, reason)

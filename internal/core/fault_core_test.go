@@ -270,10 +270,11 @@ handler:
 	}
 }
 
-// detachClient records detach notifications.
+// detachClient records detach and re-attach notifications.
 type detachClient struct {
-	detaches int
-	cause    string
+	detaches   int
+	reattaches int
+	cause      string
 }
 
 func (c *detachClient) Name() string { return "detach-watch" }
@@ -281,12 +282,15 @@ func (c *detachClient) ThreadDetach(ctx *core.Context, tag machine.Addr, cause s
 	c.detaches++
 	c.cause = cause
 }
+func (c *detachClient) ThreadReattach(ctx *core.Context, tag machine.Addr) {
+	c.reattaches++
+}
 
-// TestDetachOnInternalFailure injects an internal runtime failure at a
-// mid-run dispatch and requires graceful degradation: the run completes with
-// native-identical output, Stats.Detaches is counted, the client event
-// fires, and nothing panics.
-func TestDetachOnInternalFailure(t *testing.T) {
+// TestRecoveryOnInternalFailure injects an internal runtime failure at a
+// mid-run dispatch and requires transactional recovery, not a detach: the
+// rollback audit passes, the thread rides out a bounded native window, the
+// run completes with native-identical output, and the thread stays attached.
+func TestRecoveryOnInternalFailure(t *testing.T) {
 	img := imgOf(t, `
 main:
     mov ecx, 8
@@ -313,27 +317,94 @@ outer:
 		t.Fatal(err)
 	}
 	if got := m.OutputString(); got != want {
-		t.Errorf("output after detach = %q, native %q", got, want)
+		t.Errorf("output after recovery = %q, native %q", got, want)
 	}
-	if r.Stats.Detaches != 1 {
-		t.Errorf("Detaches = %d, want 1", r.Stats.Detaches)
+	if r.Stats.Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1", r.Stats.Recoveries)
 	}
-	if cl.detaches != 1 || !strings.Contains(cl.cause, "injected internal fault") {
-		t.Errorf("detach event = %d %q", cl.detaches, cl.cause)
+	if r.Stats.NativeWindows == 0 {
+		t.Error("recovery should run the failing tag in a native window")
 	}
-	if !r.ContextOf(m.Threads[0]).Detached() {
-		t.Error("context not marked detached")
+	if r.Stats.Detaches != 0 || cl.detaches != 0 {
+		t.Errorf("Detaches = %d (client %d), want 0: a clean rollback must not detach",
+			r.Stats.Detaches, cl.detaches)
+	}
+	if r.ContextOf(m.Threads[0]).Detached() {
+		t.Error("context marked detached after a recoverable failure")
+	}
+	if err := r.ContextOf(m.Threads[0]).CheckCacheInvariants(); err != nil {
+		t.Errorf("cache invariants after recovery: %v", err)
 	}
 	if m.Threads[0].ExitCode != native.Threads[0].ExitCode {
 		t.Errorf("exit code %d, native %d", m.Threads[0].ExitCode, native.Threads[0].ExitCode)
 	}
 }
 
-// TestUndecodableCodeDetachesToNativeFault runs a program that jumps into
+// TestPersistentFailureDegradesAndReattaches injects a failure at EVERY
+// dispatch for a stretch long enough to exhaust the retry budget at each
+// ladder level: the thread must degrade to interpret-only (native windows),
+// keep producing native-identical output, and — once the injector goes
+// quiet — cool down, re-attach to full service and rebuild fragments.
+func TestPersistentFailureDegradesAndReattaches(t *testing.T) {
+	img := imgOf(t, `
+main:
+    mov ecx, 40
+outer:
+    mov eax, 3
+    mov ebx, ecx
+    int 0x80
+    mov edx, 900
+inner:
+    dec edx
+    jnz inner
+    dec ecx
+    jnz outer
+`+exitSnippet)
+	native := runNative(t, img)
+	want := native.OutputString()
+
+	dispatches := 0
+	cl := &detachClient{}
+	opts := core.Default()
+	opts.NativeWindow = 300 // short windows so the cool-down fits the run
+	opts.ReattachCooldown = 6
+	opts.RecoveryBackoff = 2
+	opts.InternalFaultHook = func(ctx *core.Context, tag machine.Addr) bool {
+		dispatches++
+		return dispatches >= 4 && dispatches <= 18 // a burst, then quiet
+	}
+	m := machine.New(machine.PentiumIV())
+	r := core.New(m, img, opts, nil, cl)
+	if err := r.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OutputString(); got != want {
+		t.Errorf("output = %q, native %q", got, want)
+	}
+	if r.Stats.DegradeLevel == 0 {
+		t.Error("persistent failures should walk the thread down the ladder")
+	}
+	if r.Stats.Reattaches == 0 || cl.reattaches == 0 {
+		t.Errorf("Reattaches = %d (client %d), want > 0 after the injector went quiet",
+			r.Stats.Reattaches, cl.reattaches)
+	}
+	if r.Stats.Detaches != 0 {
+		t.Errorf("Detaches = %d, want 0: the ladder replaces one-way detach", r.Stats.Detaches)
+	}
+	if h := r.ContextOf(m.Threads[0]).Health(); h != core.HealthFull {
+		t.Errorf("final health = %v, want full after re-attach", h)
+	}
+	if err := r.ContextOf(m.Threads[0]).CheckCacheInvariants(); err != nil {
+		t.Errorf("cache invariants after ladder round trip: %v", err)
+	}
+}
+
+// TestUndecodableCodeDegradesToNativeFault runs a program that jumps into
 // garbage bytes. The block builder cannot decode them (an internal failure),
-// so the thread detaches; native execution then reaches the same bytes and
-// raises the same #UD the native run reports.
-func TestUndecodableCodeDetachesToNativeFault(t *testing.T) {
+// so the thread recovers and retries the tag in a native window; native
+// execution then reaches the same bytes and raises the same #UD the native
+// run reports — without the thread ever detaching.
+func TestUndecodableCodeDegradesToNativeFault(t *testing.T) {
 	img := imgOf(t, `
 main:
     mov ebx, 42
@@ -353,8 +424,12 @@ bad:
 	if rec == nil || rec.Kind != nrec.Kind || rec.EIP != nrec.EIP {
 		t.Errorf("record = %+v, native %+v", rec, nrec)
 	}
-	if r.Stats.Detaches == 0 {
-		t.Error("undecodable block should detach, not crash")
+	if r.Stats.Recoveries == 0 {
+		t.Error("undecodable block should recover, not crash")
+	}
+	if r.Stats.Detaches != 0 {
+		t.Errorf("Detaches = %d, want 0: a native window reaches the #UD without detaching",
+			r.Stats.Detaches)
 	}
 	if c := m.Threads[0].CPU; c.R[3] != 42 {
 		t.Errorf("EBX = %#x, want 42 (context must be native at the fault)", c.R[3])

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
@@ -66,6 +67,9 @@ func (r *RIO) emitIBLRoutines(ctx *Context) {
 // doubling can re-emit with the new mask in place without moving any entry
 // point — no linked exit needs re-patching.
 func (r *RIO) writeIBLRoutines(ctx *Context) {
+	// Only fires when re-emission happens from inside the dispatcher (an
+	// adaptive resize); thread-setup emission is not a chaos boundary.
+	r.chaosPoint(chaos.SiteIBLReemit, 0)
 	addr := ctx.tls + offIBLCode
 	for bt := BranchType(0); bt < numBranchTypes; bt++ {
 		ctx.iblEntry[bt] = addr

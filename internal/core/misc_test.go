@@ -190,10 +190,11 @@ func TestCacheFlushOnFull(t *testing.T) {
 		r.Stats.CacheFlushes, r.Stats.BlocksBuilt, r.Stats.FragmentsDeleted)
 }
 
-func TestCacheTooSmallForOneFragmentDetaches(t *testing.T) {
+func TestCacheTooSmallForOneFragmentRecovers(t *testing.T) {
 	// A fragment that cannot fit the cache even after a flush used to be a
-	// fatal allocator panic; with graceful degradation the thread detaches
-	// and finishes under plain interpretation instead.
+	// fatal allocator panic, then a one-way detach; with transactional
+	// recovery the failed emit rolls back, the oversized tag is retried in a
+	// native window, and the thread finishes without ever detaching.
 	img := image.MustAssemble("t", "main:\n"+strings.Repeat("    add eax, 0x12345678\n", 60)+" hlt\n")
 	m := machine.New(machine.PentiumIV())
 	opts := core.Default()
@@ -202,13 +203,20 @@ func TestCacheTooSmallForOneFragmentDetaches(t *testing.T) {
 	if err := r.Run(0); err != nil {
 		t.Fatal(err)
 	}
-	if r.Stats.Detaches == 0 {
-		t.Error("fragment larger than the cache should detach the thread")
+	if r.Stats.Recoveries == 0 {
+		t.Error("fragment larger than the cache should trigger a recovery")
+	}
+	if r.Stats.NativeWindows == 0 {
+		t.Error("the oversized tag should run in a native window")
+	}
+	if r.Stats.Detaches != 0 {
+		t.Errorf("Detaches = %d, want 0: a rollback-clean failure must not detach",
+			r.Stats.Detaches)
 	}
 	if !m.Threads[0].Halted {
-		t.Error("detached thread should still run to completion natively")
+		t.Error("thread should still run to completion natively")
 	}
-	if ctx := r.ContextOf(m.Threads[0]); ctx == nil || !ctx.Detached() {
-		t.Error("context should report Detached")
+	if ctx := r.ContextOf(m.Threads[0]); ctx == nil || ctx.Detached() {
+		t.Error("context should stay attached")
 	}
 }

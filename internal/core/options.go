@@ -13,7 +13,10 @@
 // re-enters the cache.
 package core
 
-import "repro/internal/machine"
+import (
+	"repro/internal/chaos"
+	"repro/internal/machine"
+)
 
 // Mode selects the execution strategy, forming the ladder of the paper's
 // Table 1.
@@ -111,8 +114,44 @@ type Options struct {
 
 	// InternalFaultHook, when set, is consulted at every dispatcher entry
 	// and panics when it returns true — a test-only lever to exercise the
-	// detach-on-internal-failure path without corrupting real state.
+	// internal-failure recovery path without corrupting real state. It is
+	// the original single-point ancestor of the Chaos injector below, kept
+	// for direct control in tests.
 	InternalFaultHook func(ctx *Context, tag machine.Addr) bool
+
+	// Chaos, when set, drives the named injection sites at every fragile
+	// runtime boundary (see internal/chaos): a firing trigger panics at the
+	// site, exercising transactional rollback and the degradation ladder.
+	// Injection only happens inside dispatcher-owned work (plus fault
+	// translation, which has its own retry transaction); setup-time and
+	// client-initiated paths are never injected.
+	Chaos *chaos.Injector
+
+	// BreakRollback deliberately skips the IBL scrub step of emit's
+	// registration rollback, leaving a stale hashtable entry behind after an
+	// injected emit/registration failure. It is the mutation-testing lever
+	// proving CheckCacheInvariants catches a broken rollback path (the
+	// recovery audit must fail and the thread must detach). Never set it
+	// outside tests.
+	BreakRollback bool
+
+	// Degradation-ladder tuning (all have defaults applied by New):
+	//
+	// NativeWindow is the instruction budget of one native cool-down window
+	// — the stretch a recovering thread runs natively before returning to
+	// the dispatcher. RecoveryRetryBudget is how many consecutive recovery
+	// failures a health level tolerates before the thread steps down a
+	// level. RecoveryBackoff is the base per-tag retry delay in dispatch
+	// entries, doubled per failure of that tag. QuarantineThreshold is the
+	// per-tag failure count that quarantines the tag permanently (it runs
+	// natively from then on). ReattachCooldown is the number of clean
+	// dispatch entries after which a degraded thread steps back up one
+	// level (interpret-only back to full is the re-attach).
+	NativeWindow        uint64
+	RecoveryRetryBudget int
+	RecoveryBackoff     uint64
+	QuarantineThreshold int
+	ReattachCooldown    uint64
 
 	// ForceFlagsDead overrides the flagsDeadFrom liveness analysis to
 	// always report the arithmetic flags dead, making flag-save elision

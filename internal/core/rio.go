@@ -65,6 +65,21 @@ type Stats struct {
 	FaultsTranslated uint64
 	Detaches         uint64
 
+	// Robustness ladder (see recover.go). Recoveries counts internal
+	// failures rolled back transactionally with a clean post-rollback
+	// invariant audit; RecoveryAuditFailures counts rollbacks the audit
+	// rejected (each also detaches the thread). Quarantined counts tags
+	// permanently barred from the cache, NativeWindows the bounded native
+	// cool-down windows executed, Reattaches the threads that returned to
+	// full service after a clean cool-down, and DegradeLevel the high-water
+	// health level any thread reached (statMax, not a sum).
+	Recoveries            uint64
+	RecoveryAuditFailures uint64
+	Quarantined           uint64
+	NativeWindows         uint64
+	Reattaches            uint64
+	DegradeLevel          uint64
+
 	// Live-fragment byte gauges. The authoritative per-thread gauges live
 	// on each Context; StatsSnapshot aggregates them across threads at
 	// snapshot time. These fields are only populated in snapshots — in
@@ -102,6 +117,16 @@ type RIO struct {
 	exitTrap      machine.Addr
 	iblMissTrap   machine.Addr
 	cleanCallTrap machine.Addr
+	windowTrap    machine.Addr
+
+	// Transactional-recovery state (see recover.go): the undo/repair log
+	// of in-flight cache mutations, the dispatch/recovery nesting flags
+	// that gate chaos injection, and a suppression counter for wholesale
+	// operations that have no incremental repair (flushForReuse).
+	txnLog        []func()
+	inDispatch    int
+	inRecovery    bool
+	chaosSuppress int
 
 	cleanCalls []func(*Context)
 
@@ -139,6 +164,21 @@ func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clie
 	if opts.ResizeEpoch <= 0 {
 		opts.ResizeEpoch = 32
 	}
+	if opts.NativeWindow == 0 {
+		opts.NativeWindow = 2000
+	}
+	if opts.RecoveryRetryBudget <= 0 {
+		opts.RecoveryRetryBudget = 3
+	}
+	if opts.RecoveryBackoff == 0 {
+		opts.RecoveryBackoff = 4
+	}
+	if opts.QuarantineThreshold <= 0 {
+		opts.QuarantineThreshold = 3
+	}
+	if opts.ReattachCooldown == 0 {
+		opts.ReattachCooldown = 16
+	}
 	r := &RIO{
 		M:        m,
 		Opts:     opts,
@@ -163,6 +203,11 @@ func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clie
 	r.exitTrap = m.AllocTrap(r.onExit)
 	r.iblMissTrap = m.AllocTrap(r.onIBLMiss)
 	r.cleanCallTrap = m.AllocTrap(r.onCleanCall)
+	r.windowTrap = m.AllocTrap(r.onWindowEnd)
+
+	// Native cool-down windows (degradation ladder) are bounded by an
+	// instruction watch; expiry hands the thread back to the dispatcher.
+	m.SetWatchHook(r.onWatchExpire)
 
 	// Initial thread.
 	t0 := m.Threads[0]
@@ -318,7 +363,7 @@ func (r *RIO) fireExitEvents() {
 		// can never be delivered now: account for them so none is lost
 		// silently.
 		if n := len(ctx.pendingSignals); n > 0 {
-			r.M.Stats.SignalsDropped += uint64(n)
+			statAdd(&r.M.Stats.SignalsDropped, uint64(n))
 			ctx.pendingSignals = nil
 		}
 		for _, cl := range r.Clients {

@@ -61,6 +61,12 @@ func (r *RIO) StatsSnapshot() Stats {
 		InlineChecksElided:    atomic.LoadUint64(&r.Stats.InlineChecksElided),
 		FaultsTranslated:      atomic.LoadUint64(&r.Stats.FaultsTranslated),
 		Detaches:              atomic.LoadUint64(&r.Stats.Detaches),
+		Recoveries:            atomic.LoadUint64(&r.Stats.Recoveries),
+		RecoveryAuditFailures: atomic.LoadUint64(&r.Stats.RecoveryAuditFailures),
+		Quarantined:           atomic.LoadUint64(&r.Stats.Quarantined),
+		NativeWindows:         atomic.LoadUint64(&r.Stats.NativeWindows),
+		Reattaches:            atomic.LoadUint64(&r.Stats.Reattaches),
+		DegradeLevel:          atomic.LoadUint64(&r.Stats.DegradeLevel),
 	}
 	r.ctxMu.RLock()
 	for _, ctx := range r.contexts {

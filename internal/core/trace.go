@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/ia32"
 	"repro/internal/instr"
 	"repro/internal/machine"
@@ -14,6 +15,7 @@ import (
 // another trace head, or hits the size cap. When the trace ends it is built
 // and installed, and true is returned.
 func (r *RIO) traceSelectionStep(ctx *Context, tag machine.Addr) bool {
+	r.chaosPoint(chaos.SiteTraceExtend, tag)
 	end := false
 	decision := EndTraceDefault
 	for _, cl := range r.Clients {

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/workload"
+)
+
+// TestChaosStormDeterministic: the same seeds must produce byte-identical
+// results regardless of worker count — injectors are fresh per run and all
+// randomness is seeded.
+func TestChaosStormDeterministic(t *testing.T) {
+	benches := []*workload.Benchmark{workload.ByName("crafty")}
+	if benches[0] == nil {
+		t.Fatal("no crafty benchmark")
+	}
+	seeds := []int64{11}
+	configs := DefaultChaosConfigs()[:1]
+	r1, err := ChaosStorm(1, benches, seeds, nil, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ChaosStorm(4, benches, seeds, nil, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("row counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if len(r1[i].Schedules) != len(r2[i].Schedules) {
+			t.Fatalf("%s: schedule counts differ", r1[i].Benchmark)
+		}
+		for j := range r1[i].Schedules {
+			s1, s2 := r1[i].Schedules[j], r2[i].Schedules[j]
+			if s1.Triggers != s2.Triggers || s1.Kind != s2.Kind {
+				t.Errorf("%s schedule %d: recipe differs: %q vs %q", r1[i].Benchmark, j, s1.Triggers, s2.Triggers)
+			}
+			for k := range s1.Outcomes {
+				o1, o2 := s1.Outcomes[k], s2.Outcomes[k]
+				if o1.TotalFires != o2.TotalFires || o1.Recoveries != o2.Recoveries ||
+					o1.Match != o2.Match || o1.DegradeLevel != o2.DegradeLevel {
+					t.Errorf("%s schedule %d outcome %s not deterministic: %+v vs %+v",
+						r1[i].Benchmark, j, o1.Config, o1, o2)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosStormFull is the acceptance differential: every workload plus the
+// synthetic signals case, three seeded chaos schedules (with machine-fault
+// plans riding along) and one storm schedule each, under the unbounded and
+// pressured configs. Requires bit-identical oracle states everywhere, zero
+// rollback-audit failures, intact invariants, every chaos site fired
+// somewhere in the suite, and at least one re-attach.
+func TestChaosStormFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos-injection differential in -short mode")
+	}
+	benches := workload.All()
+	seeds := []int64{101, 202, 303}
+	configs := DefaultChaosConfigs()
+	rows, err := ChaosStorm(0, benches, seeds, nil, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benches)+1 {
+		t.Fatalf("%d rows for %d benchmarks + signals case", len(rows), len(benches))
+	}
+	for _, r := range rows {
+		if len(r.Schedules) != len(seeds)+1 {
+			t.Errorf("%s: %d schedules, want %d", r.Benchmark, len(r.Schedules), len(seeds)+1)
+			continue
+		}
+		for _, s := range r.Schedules {
+			if len(s.Outcomes) != len(configs) {
+				t.Errorf("%s seed %d (%s): %d outcomes, want %d",
+					r.Benchmark, s.Seed, s.Kind, len(s.Outcomes), len(configs))
+				continue
+			}
+			for _, o := range s.Outcomes {
+				if !o.Match {
+					t.Errorf("%s seed %d (%s) under %s: %s", r.Benchmark, s.Seed, s.Kind, o.Config, o.Mismatch)
+				}
+				if o.AuditFailures != 0 {
+					t.Errorf("%s seed %d (%s) under %s: %d rollback-audit failures",
+						r.Benchmark, s.Seed, s.Kind, o.Config, o.AuditFailures)
+				}
+				if o.InvariantErr != "" {
+					t.Errorf("%s seed %d (%s) under %s: invariants: %s",
+						r.Benchmark, s.Seed, s.Kind, o.Config, o.InvariantErr)
+				}
+				if o.TotalFires > 0 && o.Recoveries == 0 && o.Detaches == 0 {
+					t.Errorf("%s seed %d (%s) under %s: %d fires but no recovery recorded",
+						r.Benchmark, s.Seed, s.Kind, o.Config, o.TotalFires)
+				}
+			}
+		}
+	}
+	totals := ChaosSiteTotals(rows)
+	for _, site := range chaos.AllSites() {
+		if totals[site.String()] == 0 {
+			t.Errorf("site %s never fired anywhere in the suite", site)
+		}
+	}
+	if n := ChaosReattachTotal(rows); n == 0 {
+		t.Error("no re-attach anywhere in the suite: the storm schedules never completed the ladder round trip")
+	}
+	t.Logf("site fires: %v, re-attaches: %d", totals, ChaosReattachTotal(rows))
+}
+
+// TestChaosStormSmoke is the bounded -short variant CI runs under -race: one
+// benchmark plus the signals case, one seed, both configs.
+func TestChaosStormSmoke(t *testing.T) {
+	benches := []*workload.Benchmark{workload.ByName("gzip")}
+	if benches[0] == nil {
+		t.Fatal("no gzip benchmark")
+	}
+	rows, err := ChaosStorm(0, benches, []int64{7}, nil, DefaultChaosConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Passed() {
+			t.Errorf("%s failed:\n%s", r.Benchmark, FormatChaosStorm([]int64{7}, DefaultChaosConfigs(), rows))
+		}
+	}
+	var fires uint64
+	for _, n := range ChaosSiteTotals(rows) {
+		fires += n
+	}
+	if fires == 0 {
+		t.Error("smoke run fired no chaos triggers at all")
+	}
+}

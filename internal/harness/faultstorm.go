@@ -63,6 +63,13 @@ func BuildSchedules(b *workload.Benchmark, seeds []int64) ([]FaultSchedule, erro
 	if len(trace) == 0 {
 		return nil, fmt.Errorf("faultstorm: %s made no system calls", b.Name)
 	}
+	return schedulesFromTrace(trace, seeds), nil
+}
+
+// schedulesFromTrace derives the seeded plans from a clean syscall trace; it
+// is shared with the ChaosStorm harness, which injects machine faults into
+// its runs so internal-failure injection composes with fault translation.
+func schedulesFromTrace(trace []machine.SyscallRecord, seeds []int64) []FaultSchedule {
 	// Per-thread ordinal of each trace record.
 	ordinals := make([]uint64, len(trace))
 	perThread := map[int]uint64{}
@@ -110,7 +117,7 @@ func BuildSchedules(b *workload.Benchmark, seeds []int64) ([]FaultSchedule, erro
 		}
 		schedules = append(schedules, sched)
 	}
-	return schedules, nil
+	return schedules
 }
 
 // FaultEvent is one delivered fault in comparable form. The capture and

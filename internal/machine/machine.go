@@ -102,6 +102,11 @@ type Thread struct {
 
 	pendingSignals []Addr // queued handler addresses, delivered FIFO
 
+	// watchLeft, when nonzero, is a step countdown: it is decremented at
+	// every Step and the machine's watch hook fires when it reaches zero.
+	// The embedding runtime uses it to bound native execution windows.
+	watchLeft uint64
+
 	syscallSeen uint64 // per-thread syscall ordinal (fault injection keys on it)
 
 	// Local is free per-thread storage for the embedding runtime (the
@@ -150,6 +155,7 @@ type Machine struct {
 	spawnHook       spawnHookFunc
 	faultTranslator FaultTranslator
 	interceptFault  FaultInterceptor
+	watchHook       func(t *Thread)
 	injections      []*faultInjection
 
 	icache  []icEntry // direct-mapped decoded-instruction cache
@@ -264,6 +270,26 @@ func (m *Machine) QueueSignal(t *Thread, handler Addr) {
 // PendingSignals reports how many queued signals t has not yet received.
 func (t *Thread) PendingSignals() int { return len(t.pendingSignals) }
 
+// SetWatchHook installs fn to be called on a thread whose armed watch
+// countdown reaches zero (see ArmWatch). The hook runs between instructions,
+// at a precise boundary, and may redirect the thread's EIP.
+func (m *Machine) SetWatchHook(fn func(t *Thread)) { m.watchHook = fn }
+
+// ArmWatch starts a step countdown on the thread: after n more Steps the
+// machine's watch hook fires. n == 0 arms for a single step.
+func (t *Thread) ArmWatch(n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	t.watchLeft = n
+}
+
+// DisarmWatch cancels a pending watch countdown.
+func (t *Thread) DisarmWatch() { t.watchLeft = 0 }
+
+// WatchArmed reports whether a watch countdown is pending.
+func (t *Thread) WatchArmed() bool { return t.watchLeft > 0 }
+
 // Charge adds modeled overhead time (runtime work performed conceptually on
 // this machine but implemented in Go, e.g. the dispatcher's hashtable
 // lookup). The modeled constants live in the runtime's options; see
@@ -325,6 +351,12 @@ func (m *Machine) Step(t *Thread) error {
 	}
 	if len(t.pendingSignals) > 0 {
 		m.deliverSignal(t)
+	}
+	if t.watchLeft > 0 {
+		t.watchLeft--
+		if t.watchLeft == 0 && m.watchHook != nil {
+			m.watchHook(t)
+		}
 	}
 	pc := t.CPU.EIP
 	if pc >= TrapBase {

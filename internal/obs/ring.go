@@ -23,12 +23,15 @@ const (
 	EvFaultXl8
 	EvSignal
 	EvIBLResize
+	EvQuarantine
+	EvDegrade
+	EvReattach
 	numEventTypes
 )
 
 var eventNames = [numEventTypes]string{
 	"emit", "link", "unlink", "evict", "resize", "detach", "fault-xl8", "signal",
-	"ibl-resize",
+	"ibl-resize", "quarantine", "degrade", "reattach",
 }
 
 func (t EventType) String() string {
