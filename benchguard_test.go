@@ -15,8 +15,10 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/guard"
 	"repro/internal/harness"
+	"repro/internal/workload"
 )
 
 // guardFigure5Benches is BenchmarkFigure5's -short subset: one workload per
@@ -62,5 +64,41 @@ func TestFigure5RegressionGuard(t *testing.T) {
 			t.Errorf("figure5/%s: normalized overhead %.4f regressed >5%% over baseline %.4f", cfg, got, want)
 		}
 		t.Logf("figure5/%s: %.4f (baseline %.4f)", cfg, got, want)
+	}
+}
+
+// TestTelemetryOverheadGuard pins the cost of full telemetry (histograms,
+// watchdog, span export, phase accounting) against the plain default
+// configuration on the guard subset. Telemetry reads the clock but never
+// charges it, so its simulated overhead is exactly zero; the 1.05 band is the
+// CI contract from the issue, and a failure means instrumentation started
+// charging ticks.
+func TestTelemetryOverheadGuard(t *testing.T) {
+	guard.Gate(t)
+	var benches []*workload.Benchmark
+	for _, name := range guardFigure5Benches {
+		b := workload.ByName(name)
+		if b == nil {
+			t.Fatalf("%s not in suite", name)
+		}
+		benches = append(benches, b)
+	}
+	rows, err := harness.Telemetry(0, benches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TelemetryRow.Normalized is instrumented-vs-native; the plain default
+	// configuration's own ratio is the baseline to beat.
+	var on, off []float64
+	for i, r := range rows {
+		on = append(on, r.Normalized)
+		off = append(off, harness.RunConfig(benches[i], core.Default()).Normalized)
+	}
+	ratio := harness.GeoMean(on) / harness.GeoMean(off)
+	if ratio > 1.05 {
+		t.Errorf("full telemetry costs %.4fx the plain default configuration (budget 1.05x)", ratio)
+	}
+	if ratio != 1.0 {
+		t.Logf("telemetry-on/telemetry-off geomean ratio %.6f (telemetry never charges ticks; expected exactly 1.0)", ratio)
 	}
 }

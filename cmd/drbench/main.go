@@ -21,6 +21,9 @@
 //	drbench -profile             # where-the-cycles-go: phase accounting + hottest fragments
 //	drbench -profile -json BENCH_profile.json
 //	drbench -profile -ring 4096 -trace-out BENCH_events.jsonl   # runtime event trace
+//	drbench -telemetry           # all telemetry on: histograms + watchdog, bit-identity checked
+//	drbench -telemetry -json BENCH_telemetry.json
+//	drbench -telemetry -trace-events trace.json   # Chrome trace-event spans; load at ui.perfetto.dev
 //	drbench -fuzz                # generative differential: 200 seeded programs x 4 configs vs native
 //	drbench -fuzz -fuzz-seeds 1000 -fuzz-ops 60 -parallel 0
 //	drbench -fuzz -fuzz-corpus repros/   # shrink and store repros for any mismatch
@@ -34,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -78,9 +82,11 @@ func main() {
 		topN       = flag.Int("top", 10, "hottest fragments kept per benchmark for -profile")
 		ring       = flag.Int("ring", 0, "per-thread event-trace ring size for -profile (0 = tracing off)")
 		traceOut   = flag.String("trace-out", "", "write the drained -profile event trace as JSONL to this path (implies -ring 4096 unless set)")
+		telemetry  = flag.Bool("telemetry", false, "run the live-telemetry experiment: histograms + watchdog with all instrumentation on, checked bit-identical to native")
+		traceEvs   = flag.String("trace-events", "", "write the -telemetry span stream as Chrome trace-event JSON to this path (load at ui.perfetto.dev)")
 	)
 	flag.Parse()
-	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*iblsweep && !*faultstorm && !*chaosstorm && !*fuzzFlag && !*profile && !*all && !*verify {
+	if !*table1 && !*table2 && !*figure5 && !*cachesweep && !*iblsweep && !*faultstorm && !*chaosstorm && !*fuzzFlag && !*profile && !*telemetry && !*all && !*verify {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -353,6 +359,7 @@ func main() {
 		}
 	}
 
+	profileJSONWritten := false
 	if *profile || *all {
 		ringSize := *ring
 		if *traceOut != "" && ringSize == 0 {
@@ -376,6 +383,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "drbench:", err)
 				os.Exit(1)
 			}
+			profileJSONWritten = true
 			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
 		}
 		if *traceOut != "" {
@@ -389,6 +397,47 @@ func main() {
 				dropped += r.EventsDropped
 			}
 			fmt.Printf("wrote %s (%d events, %d dropped by the rings)\n", *traceOut, n, dropped)
+		}
+	}
+
+	if *telemetry || *all {
+		var traceW io.Writer
+		var traceFile *os.File
+		if *traceEvs != "" {
+			f, err := os.Create(*traceEvs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			traceFile = f
+			traceW = f
+		}
+		start := time.Now()
+		rows, err := harness.Telemetry(*parallel, benches, traceW)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drbench:", err)
+			os.Exit(1)
+		}
+		requireResults("telemetry", len(rows))
+		fmt.Print(harness.FormatTelemetry(rows))
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (Chrome trace-event JSON; load at ui.perfetto.dev)\n", *traceEvs)
+		}
+		if *jsonPath != "" {
+			path := *jsonPath
+			if figure5JSONWritten || cachesweepJSONWritten || iblsweepJSONWritten || faultstormJSONWritten || profileJSONWritten {
+				path += ".telemetry.json" // several matrices requested: keep all files
+			}
+			if err := writeTelemetryJSON(path, rows, *parallel, elapsed); err != nil {
+				fmt.Fprintln(os.Stderr, "drbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d benchmarks, %.2fs wall clock)\n", path, len(rows), elapsed.Seconds())
 		}
 	}
 }
@@ -800,6 +849,65 @@ func writeProfileJSON(path string, rows []harness.ProfileRow, workers int, elaps
 			IBLMisses:     r.Stats.IBLMisses,
 			Events:        len(r.Events),
 			EventsDropped: r.EventsDropped,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// telemetryJSON is the file layout of -telemetry -json: per benchmark the
+// distribution-metric digests, any watchdog detections (zero on a healthy
+// suite — CI asserts this), and the runtime counters behind them. Every row
+// in this file has already passed the bit-identity check against native.
+type telemetryJSON struct {
+	Schema           string             `json:"schema"`
+	Workers          int                `json:"workers"`
+	WallClockSeconds float64            `json:"wall_clock_seconds"`
+	Metrics          []string           `json:"metrics"`
+	Anomalies        uint64             `json:"anomalies"`
+	Rows             []telemetryRowJSON `json:"rows"`
+}
+
+type telemetryRowJSON struct {
+	Benchmark  string  `json:"benchmark"`
+	Class      string  `json:"class"`
+	Ticks      uint64  `json:"ticks"`
+	Normalized float64 `json:"normalized"`
+
+	Histograms []obs.HistogramSummary `json:"histograms"`
+	Anomalies  []obs.Anomaly          `json:"anomalies,omitempty"`
+
+	BlocksBuilt uint64 `json:"blocks_built"`
+	TracesBuilt uint64 `json:"traces_built"`
+	Evictions   uint64 `json:"evictions"`
+	IBLMisses   uint64 `json:"ibl_misses"`
+	Recoveries  uint64 `json:"recoveries"`
+}
+
+func writeTelemetryJSON(path string, rows []harness.TelemetryRow, workers int, elapsed time.Duration) error {
+	out := telemetryJSON{
+		Schema:           "drbench/telemetry/v1",
+		Workers:          workers,
+		WallClockSeconds: elapsed.Seconds(),
+		Metrics:          obs.MetricNames(),
+	}
+	for _, r := range rows {
+		out.Anomalies += uint64(len(r.Anomalies))
+		out.Rows = append(out.Rows, telemetryRowJSON{
+			Benchmark:   r.Benchmark,
+			Class:       r.Class.String(),
+			Ticks:       uint64(r.Ticks),
+			Normalized:  r.Normalized,
+			Histograms:  r.Histograms,
+			Anomalies:   r.Anomalies,
+			BlocksBuilt: r.Stats.BlocksBuilt,
+			TracesBuilt: r.Stats.TracesBuilt,
+			Evictions:   r.Stats.Evictions,
+			IBLMisses:   r.Stats.IBLMisses,
+			Recoveries:  r.Stats.Recoveries,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -110,6 +110,10 @@ func (r *RIO) BlockEndInfo(tag machine.Addr) (op ia32.Opcode, target machine.Add
 func (r *RIO) buildBB(ctx *Context, tag machine.Addr) *Fragment {
 	prev := r.M.SetChargePhase(obs.PhaseBlockBuild)
 	defer r.M.SetChargePhase(prev)
+	if r.spans != nil {
+		spanStart := r.M.Now()
+		defer r.span(ctx.thread.ID, "block-build", spanStart, map[string]any{"tag": uint32(tag)})
+	}
 	list, count, end, err := r.decodeBlock(tag)
 	if err != nil {
 		panic(err)
@@ -118,7 +122,9 @@ func (r *RIO) buildBB(ctx *Context, tag machine.Addr) *Fragment {
 	spans := r.spansFor(tag, end)
 	statInc(&r.Stats.BlocksBuilt)
 	cost := r.Opts.Cost
-	r.M.Charge(cost.BuildBlock + machine.Ticks(count)*cost.BuildInstr)
+	buildTicks := cost.BuildBlock + machine.Ticks(count)*cost.BuildInstr
+	r.hists.Observe(obs.MetricBlockBuildTicks, uint64(buildTicks))
+	r.M.Charge(buildTicks)
 
 	// Client basic-block hooks see the application's own code, before
 	// mangling.

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Client is a DynamoRIO client (Section 3 of the paper): an external module
@@ -97,6 +98,15 @@ type ThreadDetachHook interface {
 // completed the re-attach.
 type ThreadReattachHook interface {
 	ThreadReattach(ctx *Context, tag machine.Addr)
+}
+
+// WatchdogHook is called when the pathology watchdog (Options.Watchdog)
+// fires a detection: eviction thrash, an IBL resize storm, quarantine
+// flapping, or dispatch dominance. The callback runs at a dispatcher safe
+// point with the machine paused; it may read runtime state and steer policy
+// (the adaptive-reaction surface the paper's Section 7 anticipates).
+type WatchdogHook interface {
+	WatchdogAnomaly(r *RIO, a obs.Anomaly)
 }
 
 // EndTraceDecision is a client's answer to dynamorio_end_trace.

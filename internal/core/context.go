@@ -203,6 +203,12 @@ type Context struct {
 	// threads).
 	liveBB    atomic.Int64
 	liveTrace atomic.Int64
+
+	// Native-window telemetry: the thread's retired-instruction count when
+	// the current cool-down window started, observed as a window-length
+	// sample at the dispatch entry that ends the window.
+	windowStartInstret uint64
+	windowActive       bool
 }
 
 // Detached reports whether this thread has detached from the runtime and
@@ -481,6 +487,7 @@ func (c *Context) tryTableInsert(tag, dest machine.Addr) bool {
 			mem.Write32(slot, tag)
 			mem.Write32(slot+4, dest)
 			c.tableLive++
+			c.rio.hists.Observe(obs.MetricIBLProbeLen, uint64(probes))
 			if probes > 0 {
 				statInc(&c.rio.Stats.IBLCollisions)
 				statMax(&c.rio.Stats.IBLMaxProbe, uint64(probes))

@@ -104,9 +104,15 @@ func (r *RIO) dispatch(ctx *Context, tag machine.Addr) (act machine.TrapAction, 
 	// fault handler can re-enter the dispatcher mid-window): the watch
 	// must never expire while the thread is inside cache or runtime code.
 	ctx.thread.DisarmWatch()
+	r.noteWindowEnd(ctx)
 	ctx.dispatchCount++
 	r.inDispatch++
 	defer func() { r.inDispatch-- }()
+	if r.spans != nil {
+		spanStart := r.M.Now()
+		defer r.span(ctx.thread.ID, "dispatch", spanStart, nil)
+	}
+	r.maybeWatchdog(ctx)
 	// The modeled dispatch cost is the context switch into the runtime;
 	// the rest of the dispatcher's work charges as dispatch proper unless
 	// a mechanism below (block build, trace build, eviction, translation)

@@ -280,6 +280,7 @@ func (r *RIO) emit(ctx *Context, kind FragmentKind, tag machine.Addr, list *inst
 		Type: obs.EvEmit, Tag: uint32(tag), Addr: uint32(base),
 		Kind: kind.String(), Size: total,
 	})
+	r.spanCacheCounter(ctx)
 	r.txnCommit(txn)
 	return f
 }

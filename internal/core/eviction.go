@@ -52,7 +52,15 @@ type cacheRegion struct {
 	// Adaptive-sizing epoch counters.
 	epochEvictions int
 	epochRegens    int
+
+	// totalEvictions counts evictions over the region's whole life; it
+	// clocks the telemetry epoch (ResizeEpoch evictions each) fragment
+	// lifetimes are measured in.
+	totalEvictions int
 }
+
+// epoch returns the region's current telemetry epoch.
+func (reg *cacheRegion) epoch(resizeEpoch int) int { return reg.totalEvictions / resizeEpoch }
 
 // newRegion builds one thread cache's allocator state. A positive byte
 // budget selects the bounded FIFO policy — except under the SharedCache
@@ -224,6 +232,10 @@ func (c *Context) evict(f *Fragment) {
 	r := c.rio
 	prev := r.M.SetChargePhase(obs.PhaseEviction)
 	defer r.M.SetChargePhase(prev)
+	if r.spans != nil {
+		spanStart := r.M.Now()
+		defer r.span(c.thread.ID, "evict", spanStart, map[string]any{"tag": uint32(f.Tag), "kind": f.Kind.String()})
+	}
 	r.M.Charge(r.Opts.Cost.Evict)
 	txn := r.txnMark()
 	r.txnPush(func() {
@@ -255,6 +267,10 @@ func (c *Context) evict(f *Fragment) {
 	c.pendingEvicted = append(c.pendingEvicted, evictedEvent{tag: f.Tag, kind: f.Kind})
 
 	reg := c.region(f.Kind)
+	r.hists.Observe(obs.MetricEvictScrubBytes, uint64(f.alignedSize()))
+	r.hists.Observe(obs.MetricFragLifetimeEpochs,
+		uint64(reg.epoch(r.Opts.ResizeEpoch)-f.birthEpoch))
+	reg.totalEvictions++
 	reg.epochEvictions++
 	if r.Opts.AdaptiveCache && reg.epochEvictions >= r.Opts.ResizeEpoch {
 		if float64(reg.epochRegens) > r.Opts.RegenThreshold*float64(reg.epochEvictions) {
@@ -262,6 +278,7 @@ func (c *Context) evict(f *Fragment) {
 		}
 		reg.epochEvictions, reg.epochRegens = 0, 0
 	}
+	r.spanCacheCounter(c)
 	r.txnCommit(txn)
 }
 
@@ -343,6 +360,7 @@ func (c *Context) noteFragment(f *Fragment) {
 	}
 	reg.resident = append(reg.resident, f)
 	reg.liveBytes += f.alignedSize()
+	f.birthEpoch = reg.epoch(c.rio.Opts.ResizeEpoch)
 	c.updateLiveGauges()
 	bit := uint8(1) << f.Kind
 	if c.evicted[f.Tag]&bit != 0 {

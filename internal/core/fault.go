@@ -39,6 +39,10 @@ func (r *RIO) translateFault(t *machine.Thread, f *machine.Fault) (ok bool) {
 	}
 	prev := r.M.SetChargePhase(obs.PhaseFaultTranslate)
 	defer r.M.SetChargePhase(prev)
+	if r.spans != nil {
+		spanStart := r.M.Now()
+		defer r.span(t.ID, "fault-xl8", spanStart, map[string]any{"tag": uint32(frag.Tag), "pc": uint32(pc)})
+	}
 	r.M.Charge(r.Opts.Cost.FaultTranslate)
 	app, scratch, found := frag.translate(pc)
 	if !found {
@@ -54,6 +58,10 @@ func (r *RIO) translateFault(t *machine.Thread, f *machine.Fault) (ok bool) {
 	if _, isInj := err.(*internalFault); isInj {
 		t.CPU = saved
 		statInc(&r.Stats.Recoveries)
+		r.event(t.ID, obs.Event{
+			Type: obs.EvRecover, Tag: uint32(frag.Tag), Addr: uint32(pc),
+			Note: "fault-translation retry",
+		})
 		func() {
 			r.inRecovery = true
 			defer func() { r.inRecovery = false }()

@@ -174,6 +174,11 @@ type Fragment struct {
 	// Options.Profile); it outlives the fragment across evict/rebuild.
 	prof *fragProf
 
+	// birthEpoch is the owning region's eviction epoch when the fragment
+	// was registered (bounded caches only) — the reference point for the
+	// fragment-lifetime-in-epochs telemetry histogram.
+	birthEpoch int
+
 	ctx *Context // owning thread context
 }
 

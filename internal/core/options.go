@@ -14,8 +14,11 @@
 package core
 
 import (
+	"io"
+
 	"repro/internal/chaos"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Mode selects the execution strategy, forming the ladder of the paper's
@@ -176,6 +179,35 @@ type Options struct {
 	// delivery). 0 disables tracing at the cost of one branch per event
 	// site.
 	EventRing int
+
+	// TraceEventWriter, when set, streams the run as Chrome trace-event
+	// JSON (Perfetto-loadable): complete events for the
+	// dispatch/block-build/trace-build/evict/fault-translation spans with
+	// tick timestamps, instant events for the discrete ring events, one
+	// track per simulated thread plus a counter track for live cache
+	// bytes. The runtime owns the stream and terminates the JSON document
+	// at exit. Span export reads the clock without charging it, so it
+	// never perturbs simulated behaviour.
+	TraceEventWriter io.Writer
+
+	// TraceEvents routes span export into a caller-owned TraceWriter
+	// instead — several runtimes (one per benchmark) can share one
+	// Perfetto file, distinguished by process id. The caller closes the
+	// writer; TraceEventPID and TraceEventProcess name this runtime's
+	// process track (pid defaults to 1). Ignored when TraceEventWriter is
+	// also set.
+	TraceEvents      *obs.TraceWriter
+	TraceEventPID    int
+	TraceEventProcess string
+
+	// Watchdog turns on the pathology monitor (see obs.Watchdog): the
+	// dispatcher feeds it counter snapshots on a tick budget and it fires
+	// typed detections — eviction thrash, IBL resize storms, quarantine
+	// flapping, dispatch dominance — surfaced as EvAnomaly ring events,
+	// the WatchdogHook client callback and Stats.Anomalies. Detection
+	// never charges simulated time.
+	Watchdog       bool
+	WatchdogConfig obs.WatchdogConfig
 
 	Cost CostModel
 }

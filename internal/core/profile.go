@@ -156,13 +156,17 @@ func (r *RIO) TopFragments(n int) []obs.FragmentProfile {
 	return obs.TopN(r.FragmentProfiles(), n)
 }
 
-// event records a runtime event in the trace ring, stamping the current
-// machine time. It is a no-op (one branch) when the ring is disabled.
+// event records a runtime event in the trace ring and mirrors the discrete
+// state-change events onto the trace-event exporter, stamping the current
+// machine time. It is a no-op (one branch) when both are disabled.
 func (r *RIO) event(thread int, ev obs.Event) {
-	if !r.tracer.Enabled() {
+	if !r.tracer.Enabled() && r.spans == nil {
 		return
 	}
 	ev.Tick = uint64(r.M.Ticks)
 	ev.Thread = thread
-	r.tracer.Record(ev)
+	if r.tracer.Enabled() {
+		r.tracer.Record(ev)
+	}
+	r.spanInstant(ev)
 }

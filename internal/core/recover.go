@@ -171,6 +171,9 @@ func (r *RIO) recoverDispatch(ctx *Context, tag machine.Addr, cause any) (machin
 		return r.detach(ctx, tag, fmt.Sprintf("%v (rollback audit: %v)", cause, failure))
 	}
 	statInc(&r.Stats.Recoveries)
+	r.event(ctx.thread.ID, obs.Event{
+		Type: obs.EvRecover, Tag: uint32(tag), Note: fmt.Sprint(cause),
+	})
 	r.noteFailure(ctx, tag, fmt.Sprint(cause))
 	return r.nativeWindow(ctx, tag)
 }
@@ -199,6 +202,13 @@ func (r *RIO) noteFailure(ctx *Context, tag machine.Addr, cause string) {
 			shift = 16
 		}
 		q.until = ctx.dispatchCount + r.Opts.RecoveryBackoff<<shift
+	}
+	// Every recovered failure bars the tag (backoff or permanent
+	// quarantine); the watchdog counts a flap cycle when the bar recurs
+	// after a reattach forgave it — the tag keeps being forgiven and
+	// re-barred.
+	if r.wd != nil {
+		r.fireAnomalies(ctx, r.wd.NoteQuarantine(r.M.Now(), uint32(tag)))
 	}
 
 	ctx.failStreak++
@@ -237,6 +247,9 @@ func (r *RIO) maybeStepUp(ctx *Context, tag machine.Addr) {
 	r.event(ctx.thread.ID, obs.Event{
 		Type: obs.EvReattach, Tag: uint32(tag), Old: int(old), New: int(HealthFull),
 	})
+	if r.wd != nil {
+		r.wd.NoteReattach(r.M.Now(), uint32(tag))
+	}
 	for t, q := range ctx.quar {
 		if !q.quarantined {
 			delete(ctx.quar, t)
@@ -276,6 +289,8 @@ func (r *RIO) nativeWindow(ctx *Context, tag machine.Addr) (machine.TrapAction, 
 	ctx.lastExit = nil
 	t := ctx.thread
 	t.CPU.EIP = tag
+	ctx.windowStartInstret = t.Instret
+	ctx.windowActive = true
 	t.ArmWatch(r.Opts.NativeWindow)
 	return machine.TrapContinue, nil
 }

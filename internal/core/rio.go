@@ -80,6 +80,9 @@ type Stats struct {
 	Reattaches            uint64
 	DegradeLevel          uint64
 
+	// Anomalies counts pathology-watchdog detections (Options.Watchdog).
+	Anomalies uint64
+
 	// Live-fragment byte gauges. The authoritative per-thread gauges live
 	// on each Context; StatsSnapshot aggregates them across threads at
 	// snapshot time. These fields are only populated in snapshots — in
@@ -110,6 +113,20 @@ type RIO struct {
 
 	// tracer is the runtime event ring (never nil; disabled at size 0).
 	tracer *obs.Tracer
+
+	// Live telemetry (see telemetry.go). hists is always on — observation
+	// is allocation-free atomics and never charges simulated time. spans
+	// is the Chrome trace-event exporter (nil when off); ownSpans marks a
+	// writer this runtime created from Options.TraceEventWriter and must
+	// close at exit. wd is the pathology watchdog (nil when off), pumped
+	// from the dispatcher every wd.Interval() ticks; wdNext is the next
+	// pump deadline.
+	hists    obs.Histograms
+	spans    *obs.TraceWriter
+	spanPid  int
+	ownSpans bool
+	wd       *obs.Watchdog
+	wdNext   uint64
 
 	linkstubs []*Exit
 
@@ -190,6 +207,11 @@ func New(m *machine.Machine, img *image.Image, opts Options, out io.Writer, clie
 	}
 	if opts.SharedCache {
 		r.sharedFrags = map[machine.Addr]*Fragment{}
+	}
+	r.initSpans()
+	if opts.Watchdog {
+		r.wd = obs.NewWatchdog(opts.WatchdogConfig)
+		r.wdNext = r.wd.Interval()
 	}
 	if opts.Profile {
 		// Must happen before any ticks accrue so the phase breakdown sums
@@ -281,6 +303,7 @@ func (r *RIO) setupThread(t *machine.Thread, startTag machine.Addr) {
 	r.contexts[t.ID] = ctx
 	r.ctxMu.Unlock()
 	t.Local = ctx
+	r.spanThreadMeta(t.ID)
 
 	if r.Opts.Mode == ModeEmulate {
 		// Pure emulation: run the application code where it lies, with
@@ -377,7 +400,13 @@ func (r *RIO) fireExitEvents() {
 			h.Exit(r)
 		}
 	}
+	r.closeSpans()
 }
+
+// Histograms returns the runtime's distribution metrics. The histograms are
+// always recording — reads are safe at any time, including concurrently with
+// a running machine.
+func (r *RIO) Histograms() *obs.Histograms { return &r.hists }
 
 // Printf writes transparent client output (the paper's dr_printf): it goes
 // to the runtime's own stream, never the application's.

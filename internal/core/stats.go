@@ -67,6 +67,7 @@ func (r *RIO) StatsSnapshot() Stats {
 		NativeWindows:         atomic.LoadUint64(&r.Stats.NativeWindows),
 		Reattaches:            atomic.LoadUint64(&r.Stats.Reattaches),
 		DegradeLevel:          atomic.LoadUint64(&r.Stats.DegradeLevel),
+		Anomalies:             atomic.LoadUint64(&r.Stats.Anomalies),
 	}
 	r.ctxMu.RLock()
 	for _, ctx := range r.contexts {

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// StatsSnapshot hand-copies every counter field by name; a newly added
+// Stats field without a snapshot line would silently read as zero under
+// concurrent access. This test sets every counter to a distinct nonzero
+// value through reflection and requires the snapshot to return all of them,
+// so forgetting the snapshot line fails CI.
+func TestStatsSnapshotCoversEveryField(t *testing.T) {
+	// The live-byte gauges are snapshot-only: authoritative state lives on
+	// the per-thread contexts and the RIO's own fields stay zero.
+	gauges := map[string]bool{
+		"BBCacheLiveBytes":    true,
+		"TraceCacheLiveBytes": true,
+	}
+
+	r := &RIO{}
+	rv := reflect.ValueOf(&r.Stats).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %s; the statInc/StatsSnapshot protocol assumes uint64 counters",
+				f.Name, f.Type)
+		}
+		if gauges[f.Name] {
+			continue
+		}
+		rv.Field(i).SetUint(uint64(i + 1))
+	}
+
+	s := r.StatsSnapshot()
+	sv := reflect.ValueOf(s)
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if gauges[f.Name] {
+			continue
+		}
+		if got := sv.Field(i).Uint(); got != uint64(i+1) {
+			t.Errorf("StatsSnapshot drops Stats.%s (got %d, want %d) — add its line in stats.go",
+				f.Name, got, i+1)
+		}
+	}
+}

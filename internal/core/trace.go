@@ -57,7 +57,12 @@ func (r *RIO) traceSelectionStep(ctx *Context, tag machine.Addr) bool {
 func (r *RIO) buildTrace(ctx *Context) {
 	prev := r.M.SetChargePhase(obs.PhaseTraceBuild)
 	defer r.M.SetChargePhase(prev)
+	if r.spans != nil {
+		spanStart := r.M.Now()
+		defer r.span(ctx.thread.ID, "trace-build", spanStart, map[string]any{"tag": uint32(ctx.selTags[0]), "blocks": len(ctx.selTags)})
+	}
 	tags := ctx.selTags
+	r.hists.Observe(obs.MetricTraceBlocks, uint64(len(tags)))
 	trace := instr.NewList()
 	cost := r.Opts.Cost
 	statInc(&r.Stats.TracesBuilt)

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestTelemetryMatrixCleanAndBitIdentical is the experiment's headline
+// guarantee pinned across the whole default suite: with every telemetry
+// pillar on — phase accounting, histograms, event ring, watchdog, span
+// export — each workload (a) ends bit-identical to its native run and
+// conserves phase ticks (runTelemetry errors otherwise), and (b) trips zero
+// watchdog detections under the default thresholds. A false positive here
+// means a healthy workload would page someone.
+func TestTelemetryMatrixCleanAndBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix differential run")
+	}
+	benches := workload.All()
+	var trace bytes.Buffer
+	rows, err := Telemetry(0, benches, &trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benches) {
+		t.Fatalf("got %d rows for %d benchmarks", len(rows), len(benches))
+	}
+	for i, r := range rows {
+		if r.Benchmark != benches[i].Name {
+			t.Errorf("row %d: benchmark %q out of input order", i, r.Benchmark)
+		}
+		for _, a := range r.Anomalies {
+			t.Errorf("%s: watchdog false positive: %s", r.Benchmark, a.String())
+		}
+		if r.Stats.Anomalies != uint64(len(r.Anomalies)) {
+			t.Errorf("%s: Stats.Anomalies %d != collected %d",
+				r.Benchmark, r.Stats.Anomalies, len(r.Anomalies))
+		}
+		if r.Stats.BlocksBuilt == 0 {
+			t.Errorf("%s: stats snapshot empty", r.Benchmark)
+		}
+		// Every workload builds blocks, so the build-cost histogram must
+		// have exactly that many samples.
+		var build obs.HistogramSummary
+		for _, h := range r.Histograms {
+			if h.Name == "block-build-ticks" {
+				build = h
+			}
+		}
+		if build.Count != r.Stats.BlocksBuilt {
+			t.Errorf("%s: block-build histogram count %d != BlocksBuilt %d",
+				r.Benchmark, build.Count, r.Stats.BlocksBuilt)
+		}
+	}
+	// The combined multi-process trace stream must still be one valid
+	// Chrome trace-event document.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("combined trace stream is not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	if len(pids) != len(benches) {
+		t.Errorf("trace stream has %d distinct pids, want one per benchmark (%d)",
+			len(pids), len(benches))
+	}
+	if out := FormatTelemetry(rows); out == "" {
+		t.Error("FormatTelemetry produced nothing")
+	}
+}

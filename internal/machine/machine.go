@@ -304,6 +304,11 @@ func (m *Machine) Charge(t Ticks) {
 	}
 }
 
+// Now returns the current simulated time as an unsigned tick count — the
+// timestamp clock for telemetry span stamps. Reading it never advances or
+// charges the clock.
+func (m *Machine) Now() uint64 { return uint64(m.Ticks) }
+
 // InvalidateICache drops all cached decodes (used sparingly; per-page
 // generations catch ordinary code modification automatically).
 func (m *Machine) InvalidateICache() { m.icache = make([]icEntry, 1<<icacheBits) }

@@ -26,12 +26,14 @@ const (
 	EvQuarantine
 	EvDegrade
 	EvReattach
+	EvRecover
+	EvAnomaly
 	numEventTypes
 )
 
 var eventNames = [numEventTypes]string{
 	"emit", "link", "unlink", "evict", "resize", "detach", "fault-xl8", "signal",
-	"ibl-resize", "quarantine", "degrade", "reattach",
+	"ibl-resize", "quarantine", "degrade", "reattach", "recover", "anomaly",
 }
 
 func (t EventType) String() string {

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// Wraparound coverage for the event ring and its JSONL writer: seq
+// monotonicity, no duplicated or lost events at exact capacity boundaries,
+// and stable output under concurrent recording (run with -race).
+
+func TestRingExactCapacityNoLoss(t *testing.T) {
+	const size = 8
+	tr := NewTracer(size)
+	for i := 0; i < size; i++ {
+		tr.Record(Event{Thread: 0, Type: EvEmit, Tag: uint32(i)})
+	}
+	evs := tr.Drain()
+	if len(evs) != size {
+		t.Fatalf("drained %d events at exact capacity, want %d", len(evs), size)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d at exact capacity, want 0", tr.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Tag != uint32(i) {
+			t.Errorf("event %d tag = %d, want %d (lost/duplicated at boundary)", i, ev.Tag, i)
+		}
+	}
+}
+
+func TestRingOneOverCapacity(t *testing.T) {
+	const size = 8
+	tr := NewTracer(size)
+	for i := 0; i < size+1; i++ {
+		tr.Record(Event{Thread: 0, Type: EvEmit, Tag: uint32(i)})
+	}
+	evs := tr.Drain()
+	if len(evs) != size {
+		t.Fatalf("drained %d events, want %d", len(evs), size)
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want exactly 1", tr.Dropped())
+	}
+	// The survivor window is the newest `size` events: tags 1..size.
+	for i, ev := range evs {
+		if ev.Tag != uint32(i+1) {
+			t.Errorf("event %d tag = %d, want %d", i, ev.Tag, i+1)
+		}
+	}
+}
+
+func TestRingWraparoundSeqMonotone(t *testing.T) {
+	const size, total = 4, 23 // wraps several times, not a multiple of size
+	tr := NewTracer(size)
+	for i := 0; i < total; i++ {
+		tr.Record(Event{Thread: i % 3, Type: EvLink, Tag: uint32(i)})
+	}
+	evs := tr.Drain()
+	if want := 3 * size; len(evs) != want {
+		t.Fatalf("drained %d events, want %d (three full rings)", len(evs), want)
+	}
+	seen := map[uint64]bool{}
+	for i, ev := range evs {
+		if i > 0 && evs[i-1].Seq >= ev.Seq {
+			t.Fatalf("seq not strictly increasing at %d: %d then %d", i, evs[i-1].Seq, ev.Seq)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	if got := tr.Dropped(); got != total-3*size {
+		t.Errorf("dropped = %d, want %d", got, total-3*size)
+	}
+	// Drain resets: a second drain is empty, and recording resumes with
+	// still-increasing seq.
+	if again := tr.Drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d events", len(again))
+	}
+	tr.Record(Event{Thread: 0, Type: EvEvict})
+	if evs2 := tr.Drain(); len(evs2) != 1 || evs2[0].Seq != total+1 {
+		t.Fatalf("post-drain record got %+v, want seq %d", evs2, total+1)
+	}
+}
+
+func TestRingConcurrentRecordAndDrain(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Record(Event{Thread: th, Type: EvEmit, Tag: uint32(i)})
+				}
+			}
+		}(th)
+	}
+	// Concurrent drains must see strictly increasing, never-torn events.
+	for round := 0; round < 50; round++ {
+		evs := tr.Drain()
+		for i := 1; i < len(evs); i++ {
+			if evs[i-1].Seq >= evs[i].Seq {
+				t.Errorf("round %d: seq order broken: %d then %d", round, evs[i-1].Seq, evs[i].Seq)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWriteJSONLAfterWraparound(t *testing.T) {
+	const size = 4
+	tr := NewTracer(size)
+	for i := 0; i < 11; i++ {
+		tr.Record(Event{Tick: uint64(i * 10), Thread: 0, Type: EvUnlink, Tag: uint32(i)})
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, "wrap", tr.Drain()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	var lastSeq uint64
+	for sc.Scan() {
+		var line struct {
+			Bench string `json:"bench"`
+			Seq   uint64 `json:"seq"`
+			Type  string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if line.Bench != "wrap" || line.Type != "unlink" {
+			t.Errorf("line %d = %+v", lines, line)
+		}
+		if line.Seq <= lastSeq {
+			t.Errorf("line %d seq %d not increasing past %d", lines, line.Seq, lastSeq)
+		}
+		lastSeq = line.Seq
+		lines++
+	}
+	if lines != size {
+		t.Errorf("wrote %d lines, want %d", lines, size)
+	}
+}

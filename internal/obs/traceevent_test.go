@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// chromeTrace mirrors the loader-visible shape of the trace-event format.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   *uint64        `json:"ts"`
+		Dur  *uint64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestTraceWriterValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Process(1, "bench:gcc")
+	tw.Thread(1, 0, "t0")
+	tw.Span(1, 0, "dispatch", 100, 50, map[string]any{"tag": 4096})
+	tw.Span(1, 0, "block-build", 150, 0, nil) // zero-dur span must keep dur
+	tw.Instant(1, 0, "link", 210, map[string]any{"from": 1, "to": 2})
+	tw.Counter(1, 0, "cache-bytes", 220, map[string]any{"bb": 1024, "trace": 0})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tw.Span(1, 0, "after-close", 999, 1, nil) // must be dropped
+
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(tr.TraceEvents))
+	}
+	byPh := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		byPh[ev.Ph]++
+		switch ev.Ph {
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Errorf("complete event %q missing ts/dur", ev.Name)
+			}
+		case "i":
+			if ev.S != "t" {
+				t.Errorf("instant %q scope = %q, want thread", ev.Name, ev.S)
+			}
+		case "M":
+			if ev.Args["name"] == nil {
+				t.Errorf("metadata %q missing args.name", ev.Name)
+			}
+		}
+	}
+	if byPh["X"] != 2 || byPh["i"] != 1 || byPh["C"] != 1 || byPh["M"] != 2 {
+		t.Errorf("phase counts = %v", byPh)
+	}
+	if !strings.HasSuffix(buf.String(), "]}\n") {
+		t.Error("document not terminated")
+	}
+}
+
+func TestTraceWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tw.Span(pid, 0, "dispatch", uint64(i), 1, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("concurrent output is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != workers*per {
+		t.Errorf("got %d events, want %d", len(tr.TraceEvents), workers*per)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = bytes.ErrTooLarge
+
+func TestTraceWriterErrSticky(t *testing.T) {
+	tw := NewTraceWriter(&failWriter{})
+	tw.Span(1, 0, "a", 0, 1, nil) // second write: fails
+	tw.Span(1, 0, "b", 0, 1, nil) // dropped
+	if tw.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	if err := tw.Close(); err == nil {
+		t.Fatal("Close should report the sticky error")
+	}
+}
